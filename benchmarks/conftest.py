@@ -1,0 +1,18 @@
+"""Benchmark harness configuration.
+
+Each benchmark module regenerates one of the paper's tables/figures and
+prints the rows/series alongside the paper's reference numbers; the
+pytest-benchmark timing wraps the full compile+schedule+simulate pipeline.
+Heavy pipelines run one round only (they are deterministic)."""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time a deterministic, expensive pipeline exactly once."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once():
+    return run_once

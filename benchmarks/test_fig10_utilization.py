@@ -1,0 +1,28 @@
+"""Fig. 10: functional-unit and HBM utilization over time for LoLa-MNIST
+unencrypted weights."""
+
+import numpy as np
+
+from repro.bench.runner import fig10_data
+
+SCALE = 0.25
+
+
+def test_fig10(benchmark, once):
+    tl = once(benchmark, lambda: fig10_data(scale=SCALE, windows=48))
+    print(f"\nFig. 10 — LoLa-MNIST UW utilization over time ({len(tl.time_us)} windows):")
+    bars = ""
+    for i in range(len(tl.time_us)):
+        total_active = sum(float(tl.active_fus[k][i]) for k in tl.active_fus)
+        bars += f"  t={tl.time_us[i]:7.2f}us  FUs {total_active:5.1f}  HBM {tl.hbm_utilization[i]*100:5.1f}%\n"
+    print(bars[:1200])
+
+    hbm = tl.hbm_utilization
+    active = sum(np.asarray(tl.active_fus[k]) for k in tl.active_fus)
+    # Paper's shape: an initially memory-bound phase (HBM high, few FUs
+    # active), then compute intensity grows.
+    first_quarter = slice(0, max(1, len(hbm) // 4))
+    assert float(np.mean(hbm[first_quarter])) > 0.5
+    assert float(active.max()) > float(np.mean(active[first_quarter])) * 1.5
+    # Decoupling keeps utilization physical.
+    assert float(hbm.max()) <= 1.0 + 1e-6

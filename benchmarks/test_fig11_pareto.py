@@ -1,0 +1,22 @@
+"""Fig. 11: gmean performance vs. area across F1 configurations."""
+
+from repro.bench.runner import fig11_points
+
+SCALE = 0.12
+
+
+def test_fig11(benchmark, once):
+    points = once(benchmark, lambda: fig11_points(scale=SCALE))
+    print(f"\nFig. 11 — performance vs area at scale {SCALE}:")
+    for pt in points:
+        print(
+            f"  {pt['config']:14s} {pt['area_mm2']:7.1f} mm^2   "
+            f"gmean {pt['gmean_time_ms']:8.4f} ms   perf {pt['normalized_perf']:5.3f}"
+        )
+    # Shape: performance grows with area (paper: "about linearly").
+    areas = [pt["area_mm2"] for pt in points]
+    perfs = [pt["normalized_perf"] for pt in points]
+    assert areas == sorted(areas)
+    for lo, hi in zip(perfs, perfs[1:]):
+        assert hi >= lo * 0.92  # monotone within noise
+    assert perfs[-1] / perfs[0] > 1.4  # meaningful scaling across the range

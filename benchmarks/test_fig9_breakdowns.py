@@ -1,0 +1,36 @@
+"""Fig. 9: per-benchmark off-chip traffic breakdown (9a) and average power
+breakdown (9b)."""
+
+from repro.bench.runner import fig9_data
+
+SCALE = 0.2
+
+PAPER_POWER_W = {   # Fig. 9b totals
+    "lola_cifar": 93, "lola_mnist_uw": 76, "lola_mnist_ew": 82,
+    "logistic_regression": 88, "db_lookup": 96,
+    "bgv_bootstrapping": 67, "ckks_bootstrapping": 59,
+}
+
+
+def test_fig9(benchmark, once):
+    data = once(benchmark, lambda: fig9_data(scale=SCALE))
+    print(f"\nFig. 9a — off-chip traffic fractions at scale {SCALE}:")
+    for name, d in data.items():
+        fr = {k: round(v, 2) for k, v in d["traffic_fractions"].items() if v > 0.01}
+        print(f"  {name:22s} total {d['traffic_total_bytes']/1e6:8.1f} MB  {fr}")
+    print("\nFig. 9b — average power (measured total | paper):")
+    for name, d in data.items():
+        p = d["power_w"]
+        comps = {k: round(v, 1) for k, v in p.items() if k != "total"}
+        print(f"  {name:22s} {p['total']:6.1f} | {PAPER_POWER_W[name]:3d} W   {comps}")
+
+    # Shape assertions from Sec. 8.2.
+    for name in ("logistic_regression", "bgv_bootstrapping", "db_lookup"):
+        fr = data[name]["traffic_fractions"]
+        ksh = fr["ksh_compulsory"] + fr["ksh_capacity"]
+        assert ksh > 0.5, f"{name}: KSH should dominate deep workloads"
+    for name, d in data.items():
+        p = d["power_w"]
+        movement = p["HBM"] + p["Scratchpad"] + p["NoC"] + p["RegFiles"]
+        assert movement > p["FUs"], f"{name}: data movement should dominate power"
+        assert 10 < p["total"] < 400, name

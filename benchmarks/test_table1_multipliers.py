@@ -1,0 +1,48 @@
+"""Table 1: modular multiplier area/power/delay comparison."""
+
+from repro.rns.multipliers import FheFriendlyMultiplier, multiplier_comparison_table
+from repro.rns.primes import fhe_friendly_primes
+
+PAPER = {
+    "Barrett": (5271, 18.40, 1317),
+    "Montgomery": (2916, 9.29, 1040),
+    "NTT-friendly": (2165, 5.36, 1000),
+    "FHE-friendly (ours)": (1817, 4.10, 1000),
+}
+
+
+def test_table1(benchmark, once):
+    rows = once(benchmark, multiplier_comparison_table)
+    print("\nTable 1 — modular multipliers (measured | paper):")
+    for row in rows:
+        p = PAPER[row["design"]]
+        print(
+            f"  {row['design']:22s} area {row['area_um2']:7.1f} | {p[0]:5d} um^2   "
+            f"power {row['power_mw']:5.2f} | {p[1]:5.2f} mW   "
+            f"delay {row['delay_ps']:6.1f} | {p[2]:4d} ps"
+        )
+        assert abs(row["area_um2"] - p[0]) / p[0] < 0.10
+        assert abs(row["power_mw"] - p[1]) / p[1] < 0.10
+
+
+def test_fhe_friendly_throughput(benchmark):
+    """Functional throughput of the paper's multiplier design (per-call)."""
+    q = fhe_friendly_primes(16384, 32, 1)[0]
+    mult = FheFriendlyMultiplier(q)
+
+    def run():
+        acc = 1
+        for a in range(1000, 1100):
+            acc = mult.multiply(acc, a)
+        return acc
+
+    benchmark(run)
+
+
+def test_prime_count_claim(benchmark, once):
+    """Sec. 5.3: 'our approach allows for 6,186 prime moduli'."""
+    from repro.rns.primes import count_fhe_friendly_32bit
+
+    count = once(benchmark, count_fhe_friendly_32bit)
+    print(f"\n32-bit FHE-friendly primes: {count} (paper: 6,186)")
+    assert abs(count - 6186) / 6186 < 0.05

@@ -1,0 +1,31 @@
+"""Table 2: area and TDP of F1, by component."""
+
+from repro.core.area import area_report
+from repro.core.config import F1Config
+
+PAPER = {
+    "NTT FU": (2.27, 4.80),
+    "Automorphism FU": (0.58, 0.99),
+    "Multiply FU": (0.25, 0.60),
+    "Add FU": (0.03, 0.05),
+    "Vector RegFile (512 KB)": (0.56, 1.67),
+    "Compute cluster": (3.97, 8.75),
+    "Total compute": (63.52, 140.0),
+    "Scratchpad": (48.09, 20.35),
+    "NoC": (10.02, 19.65),
+    "Memory interface": (29.80, 0.45),
+    "Total memory system": (87.91, 40.45),
+    "Total F1": (151.4, 180.4),
+}
+
+
+def test_table2(benchmark, once):
+    report = once(benchmark, area_report, F1Config())
+    print("\nTable 2 — area and TDP (measured | paper):")
+    for name, (paper_area, paper_tdp) in PAPER.items():
+        row = report[name]
+        print(
+            f"  {name:26s} {row['area_mm2']:7.2f} | {paper_area:7.2f} mm^2   "
+            f"{row['tdp_w']:7.2f} | {paper_tdp:7.2f} W"
+        )
+        assert abs(row["area_mm2"] - paper_area) / max(paper_area, 0.1) < 0.12

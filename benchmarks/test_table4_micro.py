@@ -1,0 +1,27 @@
+"""Table 4: microbenchmarks — F1 reciprocal throughput and speedups over the
+CPU and HEAX-sigma, at the paper's three (N, logQ) points."""
+
+from repro.bench.runner import table4_rows
+
+
+def test_table4(benchmark, once):
+    rows = once(benchmark, table4_rows)
+    print("\nTable 4 — microbenchmarks (measured | paper):")
+    for row in rows:
+        print(
+            f"  {row['op']:4s} N=2^{row['n'].bit_length()-1:2d} logQ={row['log_q']:3d}  "
+            f"F1 {row['f1_ns']:7.1f} | {row['paper_f1_ns']:7.1f} ns   "
+            f"vs CPU {row['speedup_vs_cpu']:6d} | {row['paper_speedup_vs_cpu']:6d}   "
+            f"vs HEAX {row['speedup_vs_heax']:5d} | {row['paper_speedup_vs_heax']:5d}"
+        )
+        # F1 absolute reciprocal throughput within 2x of the paper's.
+        assert row["paper_f1_ns"] / 2 < row["f1_ns"] < row["paper_f1_ns"] * 2
+        # CPU speedups: 3.5-5 orders of magnitude, as in the paper.
+        assert 3_000 < row["speedup_vs_cpu"] < 120_000
+    # NTT-vs-HEAX band is the paper's headline 1600x claim (Sec. 8.1).
+    ntt_rows = [r for r in rows if r["op"] == "ntt"]
+    for r in ntt_rows:
+        assert 800 < r["speedup_vs_heax"] < 3600
+    # Automorphism band ~430x.
+    for r in (r for r in rows if r["op"] == "aut"):
+        assert 200 < r["speedup_vs_heax"] < 900

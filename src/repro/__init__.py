@@ -1,0 +1,38 @@
+"""repro-f1: full-system Python reproduction of F1, the first programmable
+FHE accelerator (Feldmann, Samardzic, et al., MICRO 2021).
+
+Layers, bottom-up:
+
+- :mod:`repro.rns`, :mod:`repro.poly` — modular/RNS arithmetic and the
+  polynomial-ring primitives F1's functional units implement;
+- :mod:`repro.fhe` — BGV, CKKS, and GSW on that substrate (the functional
+  simulator of Sec. 8.5);
+- :mod:`repro.dsl` — the high-level program DSL (Sec. 4.1);
+- :mod:`repro.core` — the architecture description, ISA, area/energy models;
+- :mod:`repro.compiler` — the three-phase static-scheduling compiler;
+- :mod:`repro.sim` — the cycle-accurate schedule checker and statistics;
+- :mod:`repro.baselines`, :mod:`repro.bench` — CPU/HEAX baselines and the
+  benchmark suite regenerating every table and figure of the evaluation.
+"""
+
+from repro.compiler.pipeline import CompiledProgram, compile_program
+from repro.core.config import F1Config
+from repro.dsl.program import Program
+from repro.fhe.bgv import BgvContext
+from repro.fhe.ckks import CkksContext
+from repro.fhe.params import FheParams
+from repro.sim.simulator import check_schedule
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BgvContext",
+    "CkksContext",
+    "CompiledProgram",
+    "F1Config",
+    "FheParams",
+    "Program",
+    "check_schedule",
+    "compile_program",
+    "__version__",
+]

@@ -1,0 +1,99 @@
+"""CPU software baseline model (the paper's Xeon E3-1240v5, 4C/8T, 3.5 GHz).
+
+Per-primitive costs are fitted to the paper's own CPU measurements: Table 4
+reports, e.g., a full-ciphertext NTT at (N=2^14, logQ=438) taking
+179.2 ns x 8838 ≈ 1.58 ms, i.e. ~56.6 us per residue-vector NTT, giving
+``NTT_NS_PER_ELEMENT_STAGE ≈ 0.25 ns`` per butterfly-element.  The model then
+*composes* these primitive costs over a program's homomorphic-operation graph
+exactly as optimized single-host software would execute it: sequentially, in
+RNS form, with all data in cache-resident working sets (hence no memory-
+bandwidth term — CPUs at these sizes are compute-bound on modular arithmetic,
+which is the generous assumption for the baseline).
+
+``threads`` models embarrassingly-parallel sections (the paper parallelizes
+the CPU DB-lookup baseline across all cores).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.dsl.program import OpKind, Program
+
+# Fitted per-element primitive costs (nanoseconds); see module docstring.
+NTT_NS_PER_ELEMENT_STAGE = 0.247   # per element per log2(N) stage
+AUT_NS_PER_ELEMENT = 6.6           # gather + scatter + sign fixup
+MUL_NS_PER_ELEMENT = 2.0           # 32-bit modular multiply
+ADD_NS_PER_ELEMENT = 1.0           # 32-bit modular add
+HE_OP_OVERHEAD_NS = 2_000.0        # allocation/dispatch per homomorphic op
+
+
+@dataclass
+class CpuModel:
+    threads: int = 1
+
+    # ------------------------------------------------------ primitive costs
+    def limb_ntt_ns(self, n: int) -> float:
+        return NTT_NS_PER_ELEMENT_STAGE * n * math.log2(n)
+
+    def limb_aut_ns(self, n: int) -> float:
+        return AUT_NS_PER_ELEMENT * n
+
+    def limb_mul_ns(self, n: int) -> float:
+        return MUL_NS_PER_ELEMENT * n
+
+    def limb_add_ns(self, n: int) -> float:
+        return ADD_NS_PER_ELEMENT * n
+
+    # ------------------------------------------------- homomorphic op costs
+    def keyswitch_ns(self, n: int, level: int) -> float:
+        """Listing 1: L INTT + L(L-1) NTT + 2L^2 mul + ~2L^2 add."""
+        ntts = level + level * (level - 1)
+        return (
+            ntts * self.limb_ntt_ns(n)
+            + 2 * level * level * (self.limb_mul_ns(n) + self.limb_add_ns(n))
+        )
+
+    def he_op_ns(self, kind: OpKind, n: int, level: int) -> float:
+        if kind is OpKind.MUL:
+            tensor = 4 * level * self.limb_mul_ns(n) + level * self.limb_add_ns(n)
+            recombine = 2 * level * self.limb_add_ns(n)
+            return tensor + self.keyswitch_ns(n, level) + recombine + HE_OP_OVERHEAD_NS
+        if kind is OpKind.ROTATE:
+            auts = 2 * level * self.limb_aut_ns(n)
+            recombine = level * self.limb_add_ns(n)
+            return auts + self.keyswitch_ns(n, level) + recombine + HE_OP_OVERHEAD_NS
+        if kind in (OpKind.ADD, OpKind.SUB):
+            return 2 * level * self.limb_add_ns(n) + HE_OP_OVERHEAD_NS
+        if kind is OpKind.ADD_PLAIN:
+            return level * self.limb_add_ns(n) + HE_OP_OVERHEAD_NS
+        if kind is OpKind.MUL_PLAIN:
+            return 2 * level * self.limb_mul_ns(n) + HE_OP_OVERHEAD_NS
+        if kind is OpKind.MOD_SWITCH:
+            ntts = 2 * (1 + level)  # per component: 1 INTT + L NTTs
+            elementwise = 2 * level * (
+                self.limb_mul_ns(n) + self.limb_add_ns(n)
+            )
+            return ntts * self.limb_ntt_ns(n) + elementwise + HE_OP_OVERHEAD_NS
+        return 0.0
+
+    def run_program_ms(self, program: Program) -> float:
+        """Total sequential time over the op graph, with thread scaling."""
+        total_ns = sum(
+            self.he_op_ns(op.kind, program.n, op.level) for op in program.ops
+        )
+        return total_ns / max(1, self.threads) / 1e6
+
+    # ------------------------------------------------------- microbenchmarks
+    def ciphertext_ntt_ms(self, n: int, level: int) -> float:
+        return 2 * level * self.limb_ntt_ns(n) / 1e6
+
+    def ciphertext_aut_ms(self, n: int, level: int) -> float:
+        return 2 * level * self.limb_aut_ns(n) / 1e6
+
+    def homomorphic_mul_ms(self, n: int, level: int) -> float:
+        return self.he_op_ns(OpKind.MUL, n, level) / 1e6
+
+    def homomorphic_perm_ms(self, n: int, level: int) -> float:
+        return self.he_op_ns(OpKind.ROTATE, n, level) / 1e6

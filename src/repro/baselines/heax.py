@@ -1,0 +1,63 @@
+"""HEAX-sigma baseline model (Sec. 7, Table 4).
+
+HEAX [65] is the fastest prior FHE accelerator: an FPGA design with a
+fixed-function CKKS key-switching pipeline built from relatively
+low-throughput functional units.  It does not implement automorphisms, so the
+paper evaluates HEAX-sigma — HEAX with each key-switch pipeline extended by an
+SRAM-based *scalar* automorphism unit.
+
+The model is structural-with-calibration: an FPGA clock of 300 MHz, a number
+of parallel pipelines, and per-pipeline element throughputs fitted so the
+model reproduces HEAX's published throughput (within the F1 paper's own
+Table 4 ratios).  Butterfly and modular-multiply throughputs reflect HEAX's
+DSP budget; the scalar automorphism unit processes one element per SRAM port
+per cycle per pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class HeaxModel:
+    clock_mhz: float = 300.0
+    pipelines: int = 16               # parallel key-switch pipelines
+    butterflies_per_cycle: float = 1.75  # per pipeline (28 chip-wide)
+    modmuls_per_cycle: float = 1.75      # per pipeline
+    aut_elements_per_cycle: float = 1.0  # per pipeline: scalar SRAM unit
+
+    def _cycles_to_ms(self, cycles: float) -> float:
+        return cycles / (self.clock_mhz * 1e6) * 1e3
+
+    # ------------------------------------------------------- primitive costs
+    def limb_ntt_cycles(self, n: int) -> float:
+        butterflies = n / 2 * math.log2(n)
+        return butterflies / (self.butterflies_per_cycle * self.pipelines)
+
+    def limb_aut_cycles(self, n: int) -> float:
+        return n / (self.aut_elements_per_cycle * self.pipelines)
+
+    def limb_elementwise_cycles(self, n: int) -> float:
+        return n / (self.modmuls_per_cycle * self.pipelines)
+
+    # --------------------------------------------------- ciphertext-level ops
+    def ciphertext_ntt_ms(self, n: int, level: int) -> float:
+        return self._cycles_to_ms(2 * level * self.limb_ntt_cycles(n))
+
+    def ciphertext_aut_ms(self, n: int, level: int) -> float:
+        return self._cycles_to_ms(2 * level * self.limb_aut_cycles(n))
+
+    def keyswitch_cycles(self, n: int, level: int) -> float:
+        ntts = level * level
+        elementwise = 4 * level * level
+        return ntts * self.limb_ntt_cycles(n) + elementwise * self.limb_elementwise_cycles(n)
+
+    def homomorphic_mul_ms(self, n: int, level: int) -> float:
+        tensor = 5 * level * self.limb_elementwise_cycles(n)
+        return self._cycles_to_ms(tensor + self.keyswitch_cycles(n, level))
+
+    def homomorphic_perm_ms(self, n: int, level: int) -> float:
+        auts = 2 * level * self.limb_aut_cycles(n)
+        return self._cycles_to_ms(auts + self.keyswitch_cycles(n, level))

@@ -1,0 +1,47 @@
+"""Benchmark workloads (Sec. 7) and the harnesses regenerating Tables 3-5
+and Figures 9-11.
+
+Workload generators emit DSL programs with the same *structure* as the
+paper's benchmarks (scheme, starting level, op mix, rotation/hint patterns,
+depth); a ``scale`` parameter shrinks widths so compile+simulate stays fast
+in CI, while ``scale=1.0`` approaches paper-sized instruction counts.
+"""
+
+from repro.bench.workloads import (
+    bgv_bootstrapping,
+    ckks_bootstrapping,
+    db_lookup,
+    lola_cifar,
+    lola_mnist,
+    logistic_regression,
+    benchmark_suite,
+)
+from repro.bench.micro import microbenchmark_f1_ns, MICRO_PARAM_SETS
+from repro.bench.runner import (
+    run_benchmark,
+    table3_rows,
+    table4_rows,
+    table5_rows,
+    fig9_data,
+    fig10_data,
+    fig11_points,
+)
+
+__all__ = [
+    "bgv_bootstrapping",
+    "ckks_bootstrapping",
+    "db_lookup",
+    "lola_cifar",
+    "lola_mnist",
+    "logistic_regression",
+    "benchmark_suite",
+    "microbenchmark_f1_ns",
+    "MICRO_PARAM_SETS",
+    "run_benchmark",
+    "table3_rows",
+    "table4_rows",
+    "table5_rows",
+    "fig9_data",
+    "fig10_data",
+    "fig11_points",
+]

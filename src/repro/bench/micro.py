@@ -1,0 +1,88 @@
+"""Microbenchmarks (Table 4): NTT, automorphism, homomorphic multiply, and
+homomorphic permutation on single ciphertexts, at the paper's three parameter
+points.
+
+F1's numbers are *reciprocal throughput* (ns per ciphertext operation in
+steady state): we obtain them analytically from the architecture model — a
+fully-pipelined back-to-back stream of the operation's residue-vector ops
+spread over the relevant FUs — which matches how a fixed-latency,
+statically-scheduled machine is characterized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import F1Config
+
+#: (N, logQ) points of Table 4, with L = ceil(logQ / 32).
+MICRO_PARAM_SETS = (
+    (1 << 12, 109),
+    (1 << 13, 218),
+    (1 << 14, 438),
+)
+
+
+def level_for_log_q(log_q: int, word_bits: int = 32) -> int:
+    return max(1, (log_q + word_bits - 1) // word_bits)
+
+
+@dataclass
+class MicroCounts:
+    """Residue-vector op counts of one ciphertext-level operation."""
+
+    ntt: int = 0
+    aut: int = 0
+    mul: int = 0
+    add: int = 0
+
+    @classmethod
+    def ciphertext_ntt(cls, level: int) -> "MicroCounts":
+        return cls(ntt=2 * level)
+
+    @classmethod
+    def ciphertext_aut(cls, level: int) -> "MicroCounts":
+        return cls(aut=2 * level)
+
+    @classmethod
+    def homomorphic_mul(cls, level: int) -> "MicroCounts":
+        ks_ntt = level + level * (level - 1)      # Listing 1
+        return cls(
+            ntt=ks_ntt,
+            mul=4 * level + 2 * level * level,
+            add=3 * level + 2 * level * level,
+        )
+
+    @classmethod
+    def homomorphic_perm(cls, level: int) -> "MicroCounts":
+        ks_ntt = level + level * (level - 1)
+        return cls(
+            ntt=ks_ntt,
+            aut=2 * level,
+            mul=2 * level * level,
+            add=level + 2 * level * level,
+        )
+
+
+def microbenchmark_f1_ns(op: str, n: int, log_q: int, config: F1Config | None = None) -> float:
+    """Steady-state reciprocal throughput of one ciphertext op, in ns.
+
+    The bottleneck FU family determines throughput: time = max over FU kinds
+    of (ops * occupancy / units) at the configured clock.
+    """
+    config = config or F1Config()
+    level = level_for_log_q(log_q)
+    counts = {
+        "ntt": MicroCounts.ciphertext_ntt,
+        "aut": MicroCounts.ciphertext_aut,
+        "mul": MicroCounts.homomorphic_mul,
+        "perm": MicroCounts.homomorphic_perm,
+    }[op](level)
+    per_fu_cycles = {
+        "ntt": counts.ntt * config.fu_occupancy("ntt", n) / config.fu_count("ntt"),
+        "aut": counts.aut * config.fu_occupancy("aut", n) / config.fu_count("aut"),
+        "mul": counts.mul * config.fu_occupancy("mul", n) / config.fu_count("mul"),
+        "add": counts.add * config.fu_occupancy("add", n) / config.fu_count("add"),
+    }
+    cycles = max(per_fu_cycles.values())
+    return cycles / config.frequency_ghz

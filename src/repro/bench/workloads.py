@@ -1,0 +1,276 @@
+"""The seven full-program benchmarks of Table 3, as DSL generators.
+
+Each generator documents how its structure maps to the paper's workload:
+scheme, starting level, layer/iteration structure, and — critically for F1 —
+the key-switch-hint reuse pattern, which determines whether the program is
+compute- or memory-bound (Sec. 8.2).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.dsl.program import CtHandle, Program
+
+
+def _rotate_accumulate(p: Program, x: CtHandle, amounts: list[int]) -> CtHandle:
+    """Rotate-and-add reduction over the given amounts (hints reused across
+    calls that share amounts)."""
+    acc = x
+    for amt in amounts:
+        acc = p.add(acc, p.rotate(acc, amt))
+    return acc
+
+
+def _fc_layer(
+    p: Program,
+    x: CtHandle,
+    outputs: int,
+    *,
+    encrypted_weights: bool,
+    reduce_steps: int,
+) -> CtHandle:
+    """Fully-connected layer in the LoLa style: per output neuron, a weighted
+    copy of the activations followed by a rotate-add inner sum.  All neurons
+    share the same rotation amounts, so rotation hints are reused
+    ``outputs``-fold — the reuse the phase-1 clustering exploits."""
+    amounts = [1 << i for i in range(reduce_steps)]
+    partials = []
+    for _ in range(outputs):
+        if encrypted_weights:
+            w = p.input(x.level)
+            prod = p.mul(w, x)
+        else:
+            prod = p.mul_plain(x)
+        partials.append(_rotate_accumulate(p, prod, amounts))
+    acc = partials[0]
+    for t in partials[1:]:
+        acc = p.add(acc, t)
+    return acc
+
+
+def lola_mnist(*, encrypted_weights: bool = False, scale: float = 1.0, n: int = 16384) -> Program:
+    """LoLa-MNIST [15]: LeNet-style conv -> square -> FC -> square -> FC.
+
+    Starting level 4 (unencrypted weights) or 6 (encrypted), as in Sec. 7.
+    Frequent rotations with shared amounts; low L keeps it compute-leaning.
+    """
+    level = 6 if encrypted_weights else 4
+    name = "lola_mnist_ew" if encrypted_weights else "lola_mnist_uw"
+    p = Program(n, scheme="ckks", name=name)
+    x = p.input(level, name="image")
+    # Convolution: windows are rotations of the packed image with per-window
+    # weights, accumulated.  25 windows at full scale (5x5 kernel).
+    windows = max(2, int(25 * scale))
+    acc = p.mul(p.input(level), x) if encrypted_weights else p.mul_plain(x)
+    for i in range(1, windows):
+        r = p.rotate(x, i)
+        w = p.mul(p.input(level), r) if encrypted_weights else p.mul_plain(r)
+        acc = p.add(acc, w)
+    act1 = p.square(acc)
+    # FC hidden layer then square activation, then the output layer.
+    hidden = _fc_layer(
+        p, act1, max(2, int(8 * scale)),
+        encrypted_weights=encrypted_weights,
+        reduce_steps=max(3, int(math.log2(n)) - 6),
+    )
+    act2 = p.square(hidden)
+    out = _fc_layer(
+        p, act2, max(1, int(4 * scale)),
+        encrypted_weights=encrypted_weights,
+        reduce_steps=max(3, int(math.log2(n)) - 7),
+    )
+    p.output(out, name="logits")
+    return p
+
+
+def lola_cifar(*, scale: float = 1.0, n: int = 16384) -> Program:
+    """LoLa-CIFAR [15]: a 6-layer network (MobileNet-v3-like compute), L=8,
+    unencrypted weights.  Much wider than MNIST: many live ciphertexts per
+    layer force intermediate spills, reproducing Fig. 9a's
+    intermediate-dominated traffic."""
+    p = Program(n, scheme="ckks", name="lola_cifar")
+    level = 8
+    widths = [max(2, int(w * scale)) for w in (16, 16, 32, 32, 64, 10)]
+    xs = [p.input(level, name=f"img{c}") for c in range(max(2, int(3 * scale) or 2))]
+    current = xs
+    for layer, width in enumerate(widths):
+        amounts = [1 << i for i in range(3 + (layer % 3))]
+        nxt = []
+        for _ in range(width):
+            acc = None
+            for x in current:
+                t = p.mul_plain(x)
+                acc = t if acc is None else p.add(acc, t)
+            acc = _rotate_accumulate(p, acc, amounts)
+            nxt.append(acc)
+        # Square activation between conv blocks (consumes a level).
+        if layer % 2 == 1 and nxt[0].level > 2:
+            nxt = [p.square(v) for v in nxt]
+        current = nxt
+    for i, v in enumerate(current):
+        p.output(v, name=f"logit{i}")
+    return p
+
+
+def logistic_regression(*, scale: float = 1.0, n: int = 16384) -> Program:
+    """HELR [40]: one batch of logistic-regression training, CKKS, L=16,
+    256 features / 256 samples at full scale.  Deep (L=16 down to ~9) with
+    large-L ciphertexts, so key-switch hints dominate traffic (Fig. 9a)."""
+    p = Program(n, scheme="ckks", name="logistic_regression")
+    level = 16
+    blocks = max(2, int(8 * scale))       # feature blocks packed per ct
+    x = [p.input(level, name=f"x{b}") for b in range(blocks)]
+    y = p.input(level, name="y")
+    w = [p.input(level, name=f"w{b}") for b in range(blocks)]
+    reduce_steps = max(4, int(math.log2(n)) - 6)
+    amounts = [1 << i for i in range(reduce_steps)]
+    # z = sum_b innerSum(x_b * w_b)
+    partials = [
+        _rotate_accumulate(p, p.mul(xb, wb), amounts) for xb, wb in zip(x, w)
+    ]
+    z = partials[0]
+    for t in partials[1:]:
+        z = p.add(z, t)
+    # Degree-7 sigmoid approximation (HELR): via z2, z3, z4+... powers.
+    z2 = p.square(z)
+    z3 = p.mul(z2, z)
+    z4 = p.square(z2)
+    z7 = p.mul(z4, z3)
+    s = p.add_plain(p.add(p.add(z3, z7), z2))
+    # Gradient: per block, innerSum((s - y) * x_b); weight update.
+    err = p.sub(s, y)
+    for b in range(blocks):
+        g = _rotate_accumulate(p, p.mul(err, x[b]), amounts)
+        upd = p.sub(w[b], p.mul_plain(g))
+        p.output(upd, name=f"w{b}'")
+    return p
+
+
+def db_lookup(*, scale: float = 1.0, n: int = 16384, level: int = 17) -> Program:
+    """HElib's BGV_country_db_lookup [41] at L=17, N=16K (Sec. 7).
+
+    The database is packed into a handful of ciphertexts (HElib packs all
+    entries into slots); equality against the query is the Fermat test
+    ``(query - key)^(t-1)`` — a square-and-multiply chain whose depth is what
+    forces L=17 — evaluated *level-synchronously* across the database
+    ciphertexts (as HElib does), so each level's relinearization hint is
+    reused across the whole database.  Matches mask the value ciphertexts and
+    a rotate-add ladder aggregates the result.  Deep and wide: substantial
+    off-chip data movement."""
+    p = Program(n, scheme="bgv", name="db_lookup")
+    query = p.input(level, name="query")
+    db_cts = max(2, int(16 * scale))
+    keys = [p.input(level, name=f"keys{e}") for e in range(db_cts)]
+    # Two byte-blocks per entry group, each a Fermat chain; level-major so
+    # all database ciphertexts advance together and share each level's hint.
+    chains = [p.sub(query, k) for k in keys]
+    chains += [p.sub(p.rotate(query, 1), k) for k in keys]
+    square_steps = level - 3
+    for _ in range(square_steps):
+        if chains[0].level <= 4:
+            break
+        chains = [p.square(c) for c in chains]
+    # AND the two byte-block equalities per entry group.
+    eqs = [
+        p.mul_plain(p.mul(chains[e], chains[db_cts + e]))
+        for e in range(db_cts)
+    ]
+    values = [p.input(eqs[0].level, name=f"vals{e}") for e in range(db_cts)]
+    masked = [p.mul(eq, v) for eq, v in zip(eqs, values)]
+    acc = masked[0]
+    for t in masked[1:]:
+        acc = p.add(acc, t)
+    # Collapse matched slots into the result positions.
+    for i in range(int(math.log2(n)) // 2):
+        acc = p.add(acc, p.rotate(acc, 1 << i))
+    p.output(acc, name="result")
+    return p
+
+
+def bgv_bootstrapping(*, scale: float = 1.0, n: int = 16384, l_max: int = 24) -> Program:
+    """Non-packed BGV bootstrapping (Alperin-Sheriff & Peikert [3]), L_max=24:
+    homomorphic inner product with the bootstrapping key, a trace ladder of
+    log2(N) automorphisms isolating the constant coefficient, and GHS digit
+    extraction (a chain of squarings, one level each).  Every rotation amount
+    is distinct and every squaring sits at its own level, so hints see no
+    reuse — this is what exercises the compiler's key-switch algorithm choice
+    (Sec. 7)."""
+    p = Program(n, scheme="bgv", name="bgv_bootstrapping")
+    bk = p.input(l_max, name="bootstrap_key")
+    # Linear part: Enc(b - a*s) = AddPlain(MulPlain(bk, -a), b).
+    u = p.add_plain(p.mul_plain(bk))
+    # Trace ladder: sum over the Galois group in log2(N) + 1 stages.
+    # Bootstrapping has no "width" to scale — its depth is fixed by L_max —
+    # so scale only shortens it below 0.25 (for fast unit tests).
+    depth_scale = min(1.0, scale * 4)
+    ladder_steps = max(4, int(math.log2(n) * depth_scale))
+    for j in range(ladder_steps):
+        u = p.add(u, p.rotate(u, 1 << j))
+    # GHS digit extraction, triangular table (Halevi-Shoup): digit j is
+    # lifted by a chain of squarings B[j][j] -> B[j][e-1]; the running value
+    # advances via (B[j][j] - B[j][j+1]) / 2.  ~e^2/2 squarings of depth e —
+    # the bulk of bootstrapping's "tens to hundreds" of homomorphic ops.
+    e = max(4, int(15 * depth_scale))
+    table: dict[tuple[int, int], CtHandle] = {(0, 0): u}
+    z = u
+    for j in range(e):
+        cur = table.get((j, j))
+        if cur is None or cur.level <= 2:
+            break
+        lifted = cur
+        for i in range(j, e - 1):
+            if lifted.level <= 2:
+                break
+            lifted = p.square(lifted)
+            table[(j, i + 1)] = lifted
+        nxt = table.get((j, j + 1))
+        if j < e - 1 and nxt is not None and cur.level > 2:
+            table[(j + 1, j + 1)] = p.mul_plain(p.sub(cur, nxt))
+            z = table[(j + 1, j + 1)]
+    p.output(z, name="refreshed")
+    return p
+
+
+def ckks_bootstrapping(*, scale: float = 1.0, n: int = 16384, l_max: int = 24) -> Program:
+    """Non-packed CKKS bootstrapping (HEAAN [16]), L_max=24: CoeffToSlot
+    (log N rotations + plaintext multiplies), EvalSine via double-angle
+    squarings, SlotToCoeff.  Far fewer ciphertext multiplications than BGV
+    bootstrapping, so key-switch hints see almost no reuse and the program is
+    memory-bound — the paper's lowest speedup."""
+    p = Program(n, scheme="ckks", name="ckks_bootstrapping")
+    ct = p.input(l_max, name="exhausted_ct")
+    # Fixed depth, as for BGV bootstrapping: scale only trims below 0.25.
+    depth_scale = min(1.0, scale * 4)
+    steps = max(4, int(math.log2(n) * depth_scale))
+    # CoeffToSlot: FFT-like stages of rotate + mul_plain + add.
+    v = ct
+    for j in range(steps):
+        v = p.add(p.mul_plain(p.rotate(v, 1 << j)), p.mul_plain(v))
+    # EvalSine: Taylor kernel then double-angle squarings.
+    sine_depth = max(3, int(8 * depth_scale))
+    s = p.square(v)
+    s = p.add(p.mul_plain(s), p.mul_plain(v))
+    for _ in range(sine_depth):
+        if s.level <= 3:
+            break
+        s = p.add_plain(p.square(s))
+    # SlotToCoeff at the remaining low level.
+    w = s
+    for j in range(max(2, steps // 2)):
+        w = p.add(p.mul_plain(p.rotate(w, -(1 << j))), p.mul_plain(w))
+    p.output(w, name="refreshed")
+    return p
+
+
+def benchmark_suite(*, scale: float = 0.25, n: int = 16384) -> dict[str, Program]:
+    """The Table-3 benchmark set at a common scale."""
+    return {
+        "lola_cifar": lola_cifar(scale=scale, n=n),
+        "lola_mnist_uw": lola_mnist(encrypted_weights=False, scale=scale, n=n),
+        "lola_mnist_ew": lola_mnist(encrypted_weights=True, scale=scale, n=n),
+        "logistic_regression": logistic_regression(scale=scale, n=n),
+        "db_lookup": db_lookup(scale=scale, n=n),
+        "bgv_bootstrapping": bgv_bootstrapping(scale=scale, n=n),
+        "ckks_bootstrapping": ckks_bootstrapping(scale=scale, n=n),
+    }

@@ -1,0 +1,34 @@
+"""The F1 compiler (Sec. 4, Fig. 3): three phases.
+
+1. :mod:`repro.compiler.hecompiler` — orders homomorphic operations to
+   maximize key-switch-hint reuse and translates them into an
+   instruction-level dataflow graph (no loads/stores yet).
+2. :mod:`repro.compiler.data_scheduler` — schedules off-chip data movement
+   against a simplified machine (scratchpad directly feeding FUs): greedy
+   instruction issue, priority-ordered loads, Belady-style eviction, spills.
+3. :mod:`repro.compiler.cycle_scheduler` — resource-constrained cycle-level
+   scheduling across clusters; being fully static, it doubles as the
+   performance model (Sec. 4.4).
+
+:mod:`repro.compiler.csr_scheduler` implements the register-pressure-aware
+baseline (Goodman & Hsu's CSR) the paper compares against in Table 5, and
+:func:`repro.compiler.pipeline.compile_program` runs the whole stack.
+"""
+
+from repro.compiler.hecompiler import compile_to_instructions, order_he_ops
+from repro.compiler.data_scheduler import DataMovementSchedule, schedule_data_movement
+from repro.compiler.cycle_scheduler import CycleSchedule, schedule_cycles
+from repro.compiler.csr_scheduler import csr_order
+from repro.compiler.pipeline import CompiledProgram, compile_program
+
+__all__ = [
+    "compile_to_instructions",
+    "order_he_ops",
+    "DataMovementSchedule",
+    "schedule_data_movement",
+    "CycleSchedule",
+    "schedule_cycles",
+    "csr_order",
+    "CompiledProgram",
+    "compile_program",
+]

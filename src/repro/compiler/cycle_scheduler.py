@@ -1,0 +1,183 @@
+"""Compiler phase 3: cycle-level scheduling (Sec. 4.4).
+
+Consumes the phase-2 event list and the full architecture description, and
+assigns every load, store, and instruction a start cycle, a cluster, and a
+functional unit, respecting:
+
+- data dependences (operands ready, plus a bank->cluster transfer);
+- functional-unit structural hazards (each unit is fully pipelined with a
+  fixed occupancy per residue vector — new ops can issue every
+  ``occupancy`` cycles, results appear after ``latency``);
+- aggregate HBM bandwidth (loads/stores serialize on bytes/cycle) and load
+  latency;
+- scratchpad capacity (a load may not complete before the event that freed
+  its slot has completed — phase 2 annotates this), while otherwise hoisting
+  loads as early as bandwidth allows (decoupled data orchestration).
+
+Because the schedule is fully static, the resulting makespan *is* the
+performance number (Sec. 4.4: "our scheduler also doubles as a performance
+measurement tool"); the independent checker in :mod:`repro.sim.simulator`
+re-validates it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.data_scheduler import DataMovementSchedule
+from repro.core.config import F1Config
+from repro.core.isa import InstructionGraph
+
+
+@dataclass
+class ScheduledInstr:
+    instr_id: int
+    start: int
+    end: int          # result-available cycle
+    cluster: int
+    unit: int
+    fu: str
+    occupancy: int
+
+
+@dataclass
+class ScheduledTransfer:
+    kind: str         # "load" | "store"
+    value_id: int
+    start: float
+    end: float
+
+
+@dataclass
+class CycleSchedule:
+    makespan: int
+    instrs: list[ScheduledInstr]
+    transfers: list[ScheduledTransfer]
+    config: F1Config
+    n: int
+    fu_busy_cycles: dict = field(default_factory=dict)   # fu kind -> cycles
+    hbm_busy_cycles: float = 0.0
+
+    @property
+    def time_ms(self) -> float:
+        return self.makespan / (self.config.frequency_ghz * 1e9) * 1e3
+
+    def fu_utilization(self) -> dict:
+        out = {}
+        for fu, busy in self.fu_busy_cycles.items():
+            units = self.config.fu_count(fu)
+            out[fu] = busy / max(1, self.makespan * units)
+        return out
+
+    def hbm_utilization(self) -> float:
+        return self.hbm_busy_cycles / max(1, self.makespan)
+
+
+class _FuPool:
+    """Per-(cluster, kind) unit timelines with pipelined issue slots."""
+
+    def __init__(self, config: F1Config):
+        self.config = config
+        self.next_free = {
+            fu: [[0] * config._spec(fu).count for _ in range(config.clusters)]
+            for fu in ("ntt", "aut", "mul", "add")
+        }
+
+    def schedule(self, fu: str, ready: int, occupancy: int) -> tuple[int, int, int]:
+        """Greedy earliest-start assignment; returns (start, cluster, unit)."""
+        best = None
+        for cluster in range(self.config.clusters):
+            for unit, free in enumerate(self.next_free[fu][cluster]):
+                start = max(ready, free)
+                if best is None or start < best[0]:
+                    best = (start, cluster, unit)
+                    if start == ready:
+                        break
+            if best and best[0] == ready:
+                break
+        start, cluster, unit = best
+        self.next_free[fu][cluster][unit] = start + occupancy
+        return start, cluster, unit
+
+
+def schedule_cycles(
+    graph: InstructionGraph,
+    movement: DataMovementSchedule,
+    config: F1Config,
+) -> CycleSchedule:
+    instructions = graph.instructions
+    pool = _FuPool(config)
+    value_ready: dict[int, float] = {}
+    event_end: list[float] = [0.0] * len(movement.events)
+    hbm_next_free = 0.0
+    hbm_busy = 0.0
+    load_cycles = config.load_cycles(graph.n)
+    transfer = config.transfer_cycles(graph.n)
+    latency_hbm = config.hbm_latency_cycles
+
+    scheduled: list[ScheduledInstr] = []
+    transfers: list[ScheduledTransfer] = []
+    fu_busy: dict[str, int] = {"ntt": 0, "aut": 0, "mul": 0, "add": 0}
+    makespan = 0.0
+
+    last_use_end: dict[int, float] = {}
+
+    for idx, event in enumerate(movement.events):
+        if event.kind == "evict":
+            # The slot is free once the victim's last scheduled use completes.
+            event_end[idx] = last_use_end.get(event.target, 0.0)
+        elif event.kind == "load":
+            earliest = 0.0
+            if event.frees_slot_of is not None and event.frees_slot_of >= 0:
+                earliest = event_end[event.frees_slot_of]
+            start = max(hbm_next_free, earliest)
+            hbm_next_free = start + load_cycles
+            hbm_busy += load_cycles
+            end = start + load_cycles + latency_hbm
+            value_ready[event.target] = end
+            event_end[idx] = end
+            transfers.append(ScheduledTransfer("load", event.target, start, end))
+        elif event.kind == "store":
+            ready = value_ready.get(event.target, 0.0)
+            start = max(hbm_next_free, ready)
+            hbm_next_free = start + load_cycles
+            hbm_busy += load_cycles
+            end = start + load_cycles
+            event_end[idx] = end
+            transfers.append(ScheduledTransfer("store", event.target, start, end))
+            makespan = max(makespan, end)
+        else:  # exec
+            instr = instructions[event.target]
+            fu = instr.kind.fu
+            occupancy = config.fu_occupancy(fu, instr.n)
+            latency = config.fu_latency(instr.kind.value if fu == "ntt" else fu, instr.n)
+            ready = max(
+                (value_ready.get(vid, 0.0) for vid in instr.inputs), default=0.0
+            )
+            # Operand delivery over the on-chip network.
+            ready += transfer
+            start, cluster, unit = pool.schedule(fu, int(round(ready)), occupancy)
+            end = start + latency
+            value_ready[instr.output] = end
+            event_end[idx] = end
+            for vid in instr.inputs:
+                last_use_end[vid] = max(last_use_end.get(vid, 0.0), end)
+            last_use_end[instr.output] = max(last_use_end.get(instr.output, 0.0), end)
+            fu_busy[fu] += occupancy
+            scheduled.append(
+                ScheduledInstr(
+                    instr_id=instr.instr_id, start=start, end=end,
+                    cluster=cluster, unit=unit, fu=fu, occupancy=occupancy,
+                )
+            )
+            makespan = max(makespan, end)
+
+    return CycleSchedule(
+        makespan=int(round(makespan)),
+        instrs=scheduled,
+        transfers=transfers,
+        config=config,
+        n=graph.n,
+        fu_busy_cycles=fu_busy,
+        hbm_busy_cycles=hbm_busy,
+    )

@@ -1,0 +1,227 @@
+"""Compiler phase 2: off-chip data-movement scheduling (Sec. 4.3).
+
+Works against a simplified machine — a scratchpad of C residue-vector slots
+directly feeding functional units.  Instructions are visited in phase-1
+priority order (they are already topologically sorted); for each one, absent
+operands are loaded, space is made by evicting the resident value with the
+furthest next use (the Belady-style policy of Sec. 4.3: next use estimated
+from the priorities of unissued users), and dirty evictions append spill
+stores.  The output is an ordered event list (LOAD / EXEC / STORE) that
+phase 3 turns into cycles — with loads annotated with the event that freed
+their slot, so cycle scheduling can hoist them as early as capacity allows
+(decoupled data orchestration, Sec. 3).
+
+Traffic is classified as in Fig. 9a: key-switch hints, inputs, and plaintext
+operands split into compulsory (first touch) and non-compulsory (capacity)
+loads; intermediate fills and spill stores are always non-compulsory.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+
+from repro.core.config import F1Config
+from repro.core.isa import InstructionGraph, Value, ValueKind
+
+INFINITY = float("inf")
+
+
+@dataclass
+class Event:
+    kind: str                 # "load" | "exec" | "store" | "evict"
+    target: int               # value id (load/store/evict) or instr id (exec)
+    frees_slot_of: int | None = None   # event index whose completion freed space
+
+
+@dataclass
+class TrafficStats:
+    """Per-category off-chip traffic in residue-vector units."""
+
+    ksh_compulsory: int = 0
+    ksh_capacity: int = 0
+    input_compulsory: int = 0
+    input_capacity: int = 0
+    plain_compulsory: int = 0
+    plain_capacity: int = 0
+    intermediate_loads: int = 0
+    intermediate_stores: int = 0
+    output_stores: int = 0
+
+    def total_rvecs(self) -> int:
+        return (
+            self.ksh_compulsory + self.ksh_capacity
+            + self.input_compulsory + self.input_capacity
+            + self.plain_compulsory + self.plain_capacity
+            + self.intermediate_loads + self.intermediate_stores
+            + self.output_stores
+        )
+
+    def breakdown(self, rvec_bytes: int) -> dict:
+        """Fig. 9a categories, in bytes."""
+        return {
+            "ksh_compulsory": self.ksh_compulsory * rvec_bytes,
+            "ksh_capacity": self.ksh_capacity * rvec_bytes,
+            "input_compulsory": self.input_compulsory * rvec_bytes,
+            "input_capacity": self.input_capacity * rvec_bytes,
+            "plain_compulsory": self.plain_compulsory * rvec_bytes,
+            "plain_capacity": self.plain_capacity * rvec_bytes,
+            "intermediate_loads": self.intermediate_loads * rvec_bytes,
+            "intermediate_stores": (self.intermediate_stores + self.output_stores)
+            * rvec_bytes,
+        }
+
+
+@dataclass
+class DataMovementSchedule:
+    events: list[Event]
+    traffic: TrafficStats
+    capacity_rvecs: int
+    order: list[int] = field(default_factory=list)  # instruction order used
+    outputs: set[int] = field(default_factory=set)  # program output values
+
+
+def schedule_data_movement(
+    graph: InstructionGraph,
+    outputs: set[int],
+    config: F1Config,
+    *,
+    order: list[int] | None = None,
+) -> DataMovementSchedule:
+    """Greedy scheduling with furthest-next-use eviction.
+
+    ``order`` overrides the instruction visit order (used by the CSR baseline);
+    it must be a topological order of the graph.
+    """
+    instructions = graph.instructions
+    values = graph.values
+    if order is None:
+        order = list(range(len(instructions)))
+    position_of = {instr_id: pos for pos, instr_id in enumerate(order)}
+
+    # Remaining-user queues in visit order, for next-use estimation and
+    # dead-value detection.
+    user_queues: list[deque[int]] = [
+        deque(sorted(v.users, key=lambda u: position_of[u])) for v in values
+    ]
+
+    capacity = graph_capacity(graph, config)
+    resident: dict[int, bool] = {}          # value id -> dirty
+    touched: set[int] = set()               # values loaded at least once
+    spilled: set[int] = set()               # intermediates with off-chip copy
+    events: list[Event] = []
+    traffic = TrafficStats()
+    # Eviction heap of (-next_use_position, value id); entries may be stale.
+    evict_heap: list[tuple[float, int]] = []
+
+    def next_use(vid: int) -> float:
+        q = user_queues[vid]
+        return position_of[q[0]] if q else INFINITY
+
+    def push_evictable(vid: int) -> None:
+        heapq.heappush(evict_heap, (-next_use(vid), vid))
+
+    def classify_load(v: Value) -> None:
+        first = v.value_id not in touched
+        touched.add(v.value_id)
+        if v.kind is ValueKind.KSH:
+            if first:
+                traffic.ksh_compulsory += 1
+            else:
+                traffic.ksh_capacity += 1
+        elif v.kind is ValueKind.INPUT:
+            if first:
+                traffic.input_compulsory += 1
+            else:
+                traffic.input_capacity += 1
+        elif v.kind is ValueKind.PLAIN:
+            if first:
+                traffic.plain_compulsory += 1
+            else:
+                traffic.plain_capacity += 1
+        else:
+            traffic.intermediate_loads += 1
+
+    def make_space(pinned: set[int]) -> int | None:
+        """Evict until a slot is free; returns the freeing event index."""
+        freeing_event: int | None = None
+        while len(resident) >= capacity:
+            while True:
+                if not evict_heap:
+                    raise RuntimeError(
+                        "scratchpad thrashing: everything resident is pinned "
+                        f"(capacity {capacity}, pinned {len(pinned)})"
+                    )
+                neg_use, vid = heapq.heappop(evict_heap)
+                if vid not in resident or vid in pinned:
+                    continue
+                if -neg_use != next_use(vid):
+                    push_evictable(vid)  # stale entry; refresh
+                    continue
+                break
+            dirty = resident.pop(vid)
+            if dirty and (user_queues[vid] or vid in outputs):
+                # Live intermediate: spill it so it can be refilled later.
+                events.append(Event("store", vid))
+                if vid in outputs and not user_queues[vid]:
+                    traffic.output_stores += 1
+                else:
+                    traffic.intermediate_stores += 1
+                    spilled.add(vid)
+            else:
+                # Clean (or dead) copy: drop it; the explicit event lets the
+                # cycle scheduler know when the slot actually becomes free.
+                events.append(Event("evict", vid))
+            freeing_event = len(events) - 1
+        return freeing_event
+
+    for instr_id in order:
+        instr = instructions[instr_id]
+        pinned = set(instr.inputs) | {instr.output}
+        # Load missing operands.
+        for vid in instr.inputs:
+            if vid in resident:
+                continue
+            v = values[vid]
+            if not v.off_chip_master and vid not in spilled:
+                raise RuntimeError(
+                    f"instr {instr_id} needs value {vid} which is neither "
+                    "resident nor recoverable (order not topological?)"
+                )
+            free_evt = make_space(pinned)
+            classify_load(v)
+            events.append(Event("load", vid, frees_slot_of=free_evt))
+            resident[vid] = False
+            push_evictable(vid)
+        # Space for the result.
+        free_evt = make_space(pinned)
+        events.append(Event("exec", instr_id, frees_slot_of=free_evt))
+        resident[instr.output] = True  # produced on-chip: dirty
+        push_evictable(instr.output)
+        # Retire this use; free dead values (no store needed).
+        for vid in set(instr.inputs):
+            q = user_queues[vid]
+            while q and q[0] == instr_id:
+                q.popleft()
+            if not q and vid in resident and vid not in outputs:
+                del resident[vid]
+            elif vid in resident:
+                push_evictable(vid)
+
+    # Store surviving outputs.
+    for vid in sorted(outputs):
+        if vid in resident and resident[vid]:
+            events.append(Event("store", vid))
+            traffic.output_stores += 1
+    return DataMovementSchedule(
+        events=events, traffic=traffic, capacity_rvecs=capacity, order=order,
+        outputs=set(outputs),
+    )
+
+
+def graph_capacity(graph: InstructionGraph, config: F1Config) -> int:
+    capacity = config.scratchpad_capacity_rvecs(graph.n)
+    if capacity < 8:
+        raise ValueError("scratchpad too small for even a few residue vectors")
+    return capacity

@@ -1,0 +1,31 @@
+"""F1 architecture model (Sec. 3, 5, 6).
+
+- :mod:`repro.core.config`: the "architecture description file" of Fig. 3 —
+  cluster/FU counts, memory sizes, latencies, bandwidths.  Includes the
+  paper's default 151 mm^2 configuration and the Table-5 low-throughput
+  variants.
+- :mod:`repro.core.isa`: the instruction set at residue-vector granularity
+  and the instruction-level dataflow graph the compiler manipulates.
+- :mod:`repro.core.area`: the Table-2 area/TDP model, config-scaled for the
+  Fig. 11 Pareto sweep.
+- :mod:`repro.core.energy`: per-event energies used for the Fig. 9b power
+  breakdowns.
+"""
+
+from repro.core.config import F1Config, FuSpec
+from repro.core.isa import Instruction, InstructionGraph, InstrKind, Value, ValueKind
+from repro.core.area import area_report, area_mm2
+from repro.core.energy import EnergyModel
+
+__all__ = [
+    "F1Config",
+    "FuSpec",
+    "Instruction",
+    "InstructionGraph",
+    "InstrKind",
+    "Value",
+    "ValueKind",
+    "area_report",
+    "area_mm2",
+    "EnergyModel",
+]

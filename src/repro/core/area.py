@@ -1,0 +1,85 @@
+"""Area and TDP model (Table 2), config-scaled for the Fig. 11 sweep.
+
+Per-component constants are the paper's 14/12 nm synthesis results; the model
+composes them for arbitrary :class:`~repro.core.config.F1Config` instances.
+The paper's default configuration must reproduce Table 2's totals
+(151.4 mm^2 / 180.4 W) exactly — a unit test pins this.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import F1Config
+
+# Table 2 constants (mm^2, W).
+NTT_FU_AREA, NTT_FU_TDP = 2.27, 4.80
+AUT_FU_AREA, AUT_FU_TDP = 0.58, 0.99
+MUL_FU_AREA, MUL_FU_TDP = 0.25, 0.60
+ADD_FU_AREA, ADD_FU_TDP = 0.03, 0.05
+RF_AREA_PER_512KB, RF_TDP_PER_512KB = 0.56, 1.67
+SCRATCHPAD_AREA_PER_4MB_BANK, SCRATCHPAD_TDP_PER_4MB_BANK = 48.09 / 16, 20.35 / 16
+NOC_AREA_16x16_3X, NOC_TDP_16x16_3X = 10.02, 19.65
+HBM_PHY_AREA, HBM_PHY_TDP = 29.80 / 2, 0.45 / 2
+
+
+def cluster_area_mm2(cfg: F1Config) -> float:
+    """One compute cluster: FUs plus the banked vector register file."""
+    return (
+        cfg.ntt.count * NTT_FU_AREA / cfg.ntt.throughput_div
+        + cfg.aut.count * AUT_FU_AREA / cfg.aut.throughput_div
+        + cfg.mul.count * MUL_FU_AREA
+        + cfg.add.count * ADD_FU_AREA
+        + (cfg.register_file_kb / 512) * RF_AREA_PER_512KB
+    )
+
+
+def cluster_tdp_w(cfg: F1Config) -> float:
+    return (
+        cfg.ntt.count * NTT_FU_TDP / cfg.ntt.throughput_div
+        + cfg.aut.count * AUT_FU_TDP / cfg.aut.throughput_div
+        + cfg.mul.count * MUL_FU_TDP
+        + cfg.add.count * ADD_FU_TDP
+        + (cfg.register_file_kb / 512) * RF_TDP_PER_512KB
+    )
+
+
+def area_report(cfg: F1Config | None = None) -> dict:
+    """Regenerate Table 2 for a configuration (default: the paper's)."""
+    cfg = cfg or F1Config()
+    bank_mb = cfg.scratchpad_mb / cfg.scratchpad_banks
+    scratch_area = cfg.scratchpad_banks * SCRATCHPAD_AREA_PER_4MB_BANK * (bank_mb / 4)
+    scratch_tdp = cfg.scratchpad_banks * SCRATCHPAD_TDP_PER_4MB_BANK * (bank_mb / 4)
+    # The three crossbars scale ~quadratically with port count [58]; Table 2's
+    # constant is for 16x16.
+    ports = max(cfg.clusters, cfg.scratchpad_banks)
+    noc_area = NOC_AREA_16x16_3X * (ports / 16) ** 2
+    noc_tdp = NOC_TDP_16x16_3X * (ports / 16) ** 2
+    rows = {
+        "NTT FU": (NTT_FU_AREA, NTT_FU_TDP),
+        "Automorphism FU": (AUT_FU_AREA, AUT_FU_TDP),
+        "Multiply FU": (MUL_FU_AREA, MUL_FU_TDP),
+        "Add FU": (ADD_FU_AREA, ADD_FU_TDP),
+        "Vector RegFile (512 KB)": (RF_AREA_PER_512KB, RF_TDP_PER_512KB),
+        "Compute cluster": (cluster_area_mm2(cfg), cluster_tdp_w(cfg)),
+        "Total compute": (cluster_area_mm2(cfg) * cfg.clusters,
+                          cluster_tdp_w(cfg) * cfg.clusters),
+        "Scratchpad": (scratch_area, scratch_tdp),
+        "NoC": (noc_area, noc_tdp),
+        "Memory interface": (HBM_PHY_AREA * cfg.hbm_phys, HBM_PHY_TDP * cfg.hbm_phys),
+        "Total memory system": (
+            scratch_area + noc_area + HBM_PHY_AREA * cfg.hbm_phys,
+            scratch_tdp + noc_tdp + HBM_PHY_TDP * cfg.hbm_phys,
+        ),
+    }
+    total_area = rows["Total compute"][0] + rows["Total memory system"][0]
+    total_tdp = rows["Total compute"][1] + rows["Total memory system"][1]
+    rows["Total F1"] = (total_area, total_tdp)
+    return {name: {"area_mm2": round(a, 2), "tdp_w": round(t, 2)}
+            for name, (a, t) in rows.items()}
+
+
+def area_mm2(cfg: F1Config) -> float:
+    return area_report(cfg)["Total F1"]["area_mm2"]
+
+
+def tdp_w(cfg: F1Config) -> float:
+    return area_report(cfg)["Total F1"]["tdp_w"]

@@ -1,0 +1,157 @@
+"""F1 architecture description (Fig. 3's "Architecture Description" input).
+
+The default configuration is the paper's 151.4 mm^2 design point (Sec. 6):
+16 compute clusters (1 NTT, 1 automorphism, 2 multiplier, 2 adder FUs each,
+E = 128 lanes), a 64 MB scratchpad in 16 banks, 3 bit-sliced 16x16 crossbars
+with 512-byte ports, and 2 HBM2 PHYs totalling 1 TB/s.  Logic runs at 1 GHz
+(memories double-pumped at 2 GHz); all timing below is in 1 GHz cycles.
+
+Functional-unit timing: every FU is fully pipelined and consumes E elements
+per cycle, so the *occupancy* of one residue-vector op is G = N/E cycles; the
+result emerges after occupancy plus a fixed pipeline depth.  The NTT and
+automorphism units buffer a full residue polynomial for their transpose
+stages, so their depths include G.
+
+Table-5 variants: ``low_throughput_ntt`` / ``low_throughput_aut`` configs use
+HEAX-style FUs processing one butterfly stage (resp. one SRAM port) per
+cycle — per-unit throughput drops by the stage count, and the unit count is
+scaled up to hold aggregate throughput constant, exactly as in Sec. 8.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class FuSpec:
+    """One functional-unit kind inside a cluster."""
+
+    count: int            # units per cluster
+    throughput_div: int   # occupancy multiplier vs. fully-pipelined (1 = full)
+    pipeline_depth: int   # extra latency cycles beyond occupancy
+
+
+@dataclass(frozen=True)
+class F1Config:
+    name: str = "F1"
+    clusters: int = 16
+    lanes: int = 128                      # E
+    # Per-cluster functional units (Sec. 3: 1 NTT, 1 aut, 2 mul, 2 add).
+    ntt: FuSpec = FuSpec(count=1, throughput_div=1, pipeline_depth=0)
+    aut: FuSpec = FuSpec(count=1, throughput_div=1, pipeline_depth=0)
+    mul: FuSpec = FuSpec(count=2, throughput_div=1, pipeline_depth=12)
+    add: FuSpec = FuSpec(count=2, throughput_div=1, pipeline_depth=4)
+    # Memory system.
+    scratchpad_mb: int = 64
+    scratchpad_banks: int = 16
+    register_file_kb: int = 512           # per cluster
+    hbm_phys: int = 2
+    hbm_gb_per_s_per_phy: int = 512       # 1 TB/s total by default
+    hbm_latency_cycles: int = 120
+    noc_port_bytes: int = 512             # crossbar port width
+    frequency_ghz: float = 1.0
+
+    # ------------------------------------------------------------- derived
+    def rvec_bytes(self, n: int) -> int:
+        """Size of one residue vector (N x 32-bit words)."""
+        return 4 * n
+
+    def chunks(self, n: int) -> int:
+        """G = N / E: cycles of occupancy for one fully-pipelined vector op."""
+        return max(1, n // self.lanes)
+
+    def scratchpad_capacity_rvecs(self, n: int) -> int:
+        return (self.scratchpad_mb << 20) // self.rvec_bytes(n)
+
+    def hbm_bytes_per_cycle(self) -> float:
+        total_gb_s = self.hbm_phys * self.hbm_gb_per_s_per_phy
+        return total_gb_s / self.frequency_ghz  # GB/s at GHz = bytes/cycle
+
+    def load_cycles(self, n: int) -> float:
+        """Aggregate-bandwidth occupancy of loading one residue vector."""
+        return self.rvec_bytes(n) / self.hbm_bytes_per_cycle()
+
+    def transfer_cycles(self, n: int) -> int:
+        """Bank->cluster (or cluster->cluster) transfer of one residue vector.
+
+        Ports are 512 B wide, so a vector streams at the FU consumption rate:
+        N*4 / 512 cycles = G for E = 128.
+        """
+        return max(1, (self.rvec_bytes(n) + self.noc_port_bytes - 1) // self.noc_port_bytes)
+
+    def fu_occupancy(self, kind: str, n: int) -> int:
+        spec = self._spec(kind)
+        return self.chunks(n) * spec.throughput_div
+
+    def fu_latency(self, kind: str, n: int) -> int:
+        """Issue-to-result latency of one residue-vector op."""
+        spec = self._spec(kind)
+        g = self.chunks(n)
+        base = g * spec.throughput_div + spec.pipeline_depth
+        if kind in ("ntt", "intt"):
+            # Four-step pipeline: NTT, twiddle multiply, transpose (buffers
+            # the G x E matrix: G cycles), NTT (Sec. 5.2).
+            return base + g + 2 * _log2(self.lanes) + 8
+        if kind == "aut":
+            # Column permute, transpose, row permute, transpose (Sec. 5.1).
+            return base + 2 * g + 4
+        return base
+
+    def _spec(self, kind: str) -> FuSpec:
+        if kind in ("ntt", "intt"):
+            return self.ntt
+        if kind == "aut":
+            return self.aut
+        if kind == "mul":
+            return self.mul
+        if kind in ("add", "sub"):
+            return self.add
+        raise ValueError(f"unknown FU kind {kind!r}")
+
+    def fu_count(self, kind: str) -> int:
+        return self._spec(kind).count * self.clusters
+
+    # ------------------------------------------------------------- variants
+    def with_low_throughput_ntt(self) -> "F1Config":
+        """HEAX-style NTT FUs: one butterfly stage per cycle, count scaled up
+        to keep aggregate throughput constant (Table 5, 'LT NTT')."""
+        stages = _log2(self.lanes)
+        return replace(
+            self,
+            name=self.name + "+LT-NTT",
+            ntt=FuSpec(count=self.ntt.count * stages, throughput_div=stages,
+                       pipeline_depth=self.ntt.pipeline_depth),
+        )
+
+    def with_low_throughput_aut(self) -> "F1Config":
+        """Serial-SRAM automorphism FUs (Table 5, 'LT Aut')."""
+        slowdown = 8  # SRAM-bank serial access vs. 128-lane vector unit
+        return replace(
+            self,
+            name=self.name + "+LT-Aut",
+            aut=FuSpec(count=self.aut.count * slowdown, throughput_div=slowdown,
+                       pipeline_depth=self.aut.pipeline_depth),
+        )
+
+    def scaled(self, *, clusters: int | None = None, banks: int | None = None,
+               phys: int | None = None, scratchpad_mb: int | None = None) -> "F1Config":
+        """Resized configuration for the Fig. 11 design-space sweep."""
+        return replace(
+            self,
+            name=f"F1-c{clusters or self.clusters}b{banks or self.scratchpad_banks}"
+                 f"p{phys or self.hbm_phys}",
+            clusters=clusters or self.clusters,
+            scratchpad_banks=banks or self.scratchpad_banks,
+            scratchpad_mb=scratchpad_mb
+            or (self.scratchpad_mb * (banks or self.scratchpad_banks)
+                // self.scratchpad_banks),
+            hbm_phys=phys or self.hbm_phys,
+        )
+
+
+def _log2(x: int) -> int:
+    return x.bit_length() - 1
+
+
+DEFAULT_CONFIG = F1Config()

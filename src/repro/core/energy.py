@@ -1,0 +1,59 @@
+"""Energy model for the Fig. 9b power breakdowns.
+
+Per-event energies are derived from the Table 2 TDP figures (a component at
+TDP for one cycle consumes TDP/f joules) plus standard HBM2 per-byte energy.
+The simulator multiplies these by per-component activity counts; average
+power = total energy / (makespan / f).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.area import (
+    ADD_FU_TDP,
+    AUT_FU_TDP,
+    MUL_FU_TDP,
+    NTT_FU_TDP,
+    RF_TDP_PER_512KB,
+    NOC_TDP_16x16_3X,
+    SCRATCHPAD_TDP_PER_4MB_BANK,
+)
+from repro.core.config import F1Config
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energies in nanojoules."""
+
+    fu_busy_nj_per_cycle: dict
+    rf_access_nj_per_rvec_chunk: float
+    scratchpad_nj_per_byte: float
+    noc_nj_per_byte: float
+    hbm_nj_per_byte: float
+
+    @classmethod
+    def from_config(cls, cfg: F1Config) -> "EnergyModel":
+        f_ghz = cfg.frequency_ghz
+        # One busy cycle at TDP: TDP[W] / f[GHz] = nJ per cycle.
+        fu = {
+            "ntt": NTT_FU_TDP / f_ghz / cfg.ntt.throughput_div,
+            "aut": AUT_FU_TDP / f_ghz / cfg.aut.throughput_div,
+            "mul": MUL_FU_TDP / f_ghz,
+            "add": ADD_FU_TDP / f_ghz,
+        }
+        # RF at TDP serves ~10 reads + 6 writes of E elements per cycle.
+        rf_chunk = RF_TDP_PER_512KB / f_ghz / 16
+        # Scratchpad at TDP streams banks * 512 B per cycle.
+        scratch_per_byte = (SCRATCHPAD_TDP_PER_4MB_BANK * 16 / f_ghz) / (16 * 512)
+        # NoC at TDP moves 3 crossbars * 16 ports * 512 B per cycle.
+        noc_per_byte = (NOC_TDP_16x16_3X / f_ghz) / (3 * 16 * 512)
+        # HBM2: ~7 pJ/bit off-chip + PHY, standard figure.
+        hbm_per_byte = 7.0 * 8 / 1000  # nJ/byte
+        return cls(
+            fu_busy_nj_per_cycle=fu,
+            rf_access_nj_per_rvec_chunk=rf_chunk,
+            scratchpad_nj_per_byte=scratch_per_byte,
+            noc_nj_per_byte=noc_per_byte,
+            hbm_nj_per_byte=hbm_per_byte,
+        )

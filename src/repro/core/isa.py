@@ -1,0 +1,137 @@
+"""F1's instruction set at residue-vector (RVec) granularity.
+
+A ciphertext polynomial is L residue vectors; every compute instruction reads
+one or two RVecs and produces one.  This is the granularity the paper's
+compiler schedules ("our scratchpad stores at least 1024 residue vectors").
+
+Values carry a *kind* so the data-movement scheduler can classify traffic the
+way Fig. 9a does: key-switch hints (KSH), program inputs, plaintext operands,
+and intermediates (which spill/fill).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class InstrKind(enum.Enum):
+    NTT = "ntt"
+    INTT = "intt"
+    MUL = "mul"
+    ADD = "add"
+    SUB = "sub"
+    AUT = "aut"
+
+    @property
+    def fu(self) -> str:
+        """Functional-unit family executing this instruction."""
+        if self in (InstrKind.NTT, InstrKind.INTT):
+            return "ntt"
+        if self is InstrKind.AUT:
+            return "aut"
+        if self is InstrKind.MUL:
+            return "mul"
+        return "add"
+
+
+class ValueKind(enum.Enum):
+    INPUT = "input"        # encrypted program input (off-chip master copy)
+    KSH = "ksh"            # key-switch hint RVec (off-chip master copy)
+    PLAIN = "plain"        # unencrypted operand (off-chip master copy)
+    INTERMEDIATE = "intermediate"
+    OUTPUT = "output"
+
+
+@dataclass
+class Value:
+    """One residue vector flowing through the instruction DFG."""
+
+    value_id: int
+    kind: ValueKind
+    producer: int | None = None          # instruction id, None for off-chip
+    users: list[int] = field(default_factory=list)
+    hint_id: str | None = None           # for KSH values: which hint
+    name: str = ""
+
+    @property
+    def off_chip_master(self) -> bool:
+        """True if the value originates off-chip (loads of it are clean)."""
+        return self.kind in (ValueKind.INPUT, ValueKind.KSH, ValueKind.PLAIN)
+
+
+@dataclass
+class Instruction:
+    """One vector operation; ``priority`` is the phase-1 global order."""
+
+    instr_id: int
+    kind: InstrKind
+    inputs: tuple[int, ...]
+    output: int
+    n: int
+    priority: int = 0
+    he_op: int = -1                      # originating homomorphic op
+    rotate_exponent: int = 0             # for AUT
+
+
+class InstructionGraph:
+    """Instruction-level dataflow graph (the output of compiler phase 1)."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self.instructions: list[Instruction] = []
+        self.values: list[Value] = []
+
+    # ------------------------------------------------------------- building
+    def new_value(self, kind: ValueKind, *, producer: int | None = None,
+                  hint_id: str | None = None, name: str = "") -> int:
+        v = Value(value_id=len(self.values), kind=kind, producer=producer,
+                  hint_id=hint_id, name=name)
+        self.values.append(v)
+        return v.value_id
+
+    def emit(self, kind: InstrKind, inputs: tuple[int, ...], *,
+             he_op: int = -1, rotate_exponent: int = 0,
+             out_kind: ValueKind = ValueKind.INTERMEDIATE) -> int:
+        """Append an instruction; returns the produced value id."""
+        instr_id = len(self.instructions)
+        out = self.new_value(out_kind, producer=instr_id)
+        instr = Instruction(
+            instr_id=instr_id, kind=kind, inputs=inputs, output=out,
+            n=self.n, priority=instr_id, he_op=he_op,
+            rotate_exponent=rotate_exponent,
+        )
+        for vid in inputs:
+            self.values[vid].users.append(instr_id)
+        self.instructions.append(instr)
+        return out
+
+    # ------------------------------------------------------------ queries
+    def stats(self) -> dict:
+        by_kind: dict[str, int] = {}
+        for ins in self.instructions:
+            by_kind[ins.kind.value] = by_kind.get(ins.kind.value, 0) + 1
+        by_value: dict[str, int] = {}
+        for v in self.values:
+            by_value[v.kind.value] = by_value.get(v.kind.value, 0) + 1
+        return {
+            "instructions": len(self.instructions),
+            "values": len(self.values),
+            "by_kind": by_kind,
+            "by_value_kind": by_value,
+        }
+
+    def validate(self) -> None:
+        """Structural invariants: SSA, topological order, user lists correct."""
+        for ins in self.instructions:
+            for vid in ins.inputs:
+                v = self.values[vid]
+                if v.producer is not None and v.producer >= ins.instr_id:
+                    raise ValueError(
+                        f"instr {ins.instr_id} uses value {vid} produced later"
+                    )
+                if ins.instr_id not in v.users:
+                    raise ValueError(f"user list of value {vid} is stale")
+            out = self.values[ins.output]
+            if out.producer != ins.instr_id:
+                raise ValueError(f"output of instr {ins.instr_id} mislinked")

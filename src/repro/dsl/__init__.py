@@ -1,0 +1,11 @@
+"""F1's high-level domain-specific language (Sec. 4.1, Listing 2).
+
+Programs are dataflow graphs of *homomorphic operations* on ciphertext
+handles; there is no control flow (loops in generators are unrolled at build
+time, exactly as the F1 compiler unrolls them).  The only implementation
+detail exposed is the noise budget L of each input, as in the paper.
+"""
+
+from repro.dsl.program import CtHandle, HeOp, OpKind, Program
+
+__all__ = ["CtHandle", "HeOp", "OpKind", "Program"]

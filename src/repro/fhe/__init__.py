@@ -1,0 +1,38 @@
+"""FHE schemes substrate (the "functional simulator" of Sec. 8.5).
+
+Implements, on top of :mod:`repro.poly`:
+
+- **BGV** (:mod:`repro.fhe.bgv`): integer plaintexts, modulus switching,
+  rotations via automorphisms + key switching;
+- **CKKS** (:mod:`repro.fhe.ckks`): approximate fixed-point arithmetic with
+  rescaling, slot rotations, conjugation;
+- **GSW** (:mod:`repro.fhe.gsw`): matrix ciphertexts with external products;
+- key switching in two variants (:mod:`repro.fhe.keyswitch`) — the Listing-1
+  RNS-decomposition method whose hints grow as L^2, and the raised-modulus
+  method whose hints grow as L (the "algorithmic choice" of Sec. 2.4/4.2);
+- analytic noise tracking (:mod:`repro.fhe.noise`);
+- simplified non-packed bootstrapping for BGV and CKKS
+  (:mod:`repro.fhe.bootstrap`).
+
+All homomorphic operations decompose into exactly the primitives F1
+accelerates: element-wise modular add/mult, NTTs, and automorphisms.
+"""
+
+from repro.fhe.params import FheParams
+from repro.fhe.ciphertext import Ciphertext
+from repro.fhe.bgv import BgvContext
+from repro.fhe.ckks import CkksContext
+from repro.fhe.gsw import GswContext
+from repro.fhe.encoding import BatchEncoder, CkksEncoder
+from repro.fhe.bootstrap import BitBootstrapper
+
+__all__ = [
+    "FheParams",
+    "Ciphertext",
+    "BgvContext",
+    "CkksContext",
+    "GswContext",
+    "BatchEncoder",
+    "CkksEncoder",
+    "BitBootstrapper",
+]

@@ -1,0 +1,313 @@
+"""BGV scheme (Sec. 2.2) over RNS polynomials.
+
+Ciphertexts are pairs ``(a, b = a*s + t*e + m)``; decryption recovers
+``m = [b - a*s mod Q]_t`` via centered reduction.  All homomorphic operations
+are built from exactly the primitives F1 accelerates: element-wise modular
+add/multiply, NTTs, and automorphisms, plus key switching (Listing 1 or the
+raised-modulus variant) and RNS modulus switching.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fhe import noise as noise_model
+from repro.fhe.ciphertext import Ciphertext
+from repro.fhe.keys import (
+    KeySwitchHint,
+    RaisedKeySwitchHint,
+    SecretKey,
+    generate_ks_hint,
+    generate_raised_ks_hint,
+)
+from repro.fhe.keyswitch import key_switch_v1, key_switch_v2
+from repro.fhe.params import FheParams
+from repro.fhe.sampling import sample_error, small_poly, uniform_poly
+from repro.poly.polynomial import Domain, RnsPolynomial
+from repro.rns.crt import RnsBasis
+from repro.rns.primes import ntt_friendly_primes
+
+
+def rotation_exponent(steps: int, n: int) -> int:
+    """Galois exponent for a rotation by ``steps``: k = 3^steps mod 2N."""
+    return pow(3, steps, 2 * n)
+
+
+class BgvContext:
+    """Keys plus homomorphic operations for one BGV parameter set."""
+
+    def __init__(self, params: FheParams, *, seed: int = 0, ks_variant: int = 1,
+                 secret: SecretKey | None = None):
+        if ks_variant not in (1, 2):
+            raise ValueError("ks_variant must be 1 (Listing 1) or 2 (raised modulus)")
+        self.params = params
+        self.rng = np.random.default_rng(seed)
+        # An injected secret lets several contexts share one key — needed by
+        # bootstrapping, whose working context encrypts the input context's
+        # key (circular security, as standard).
+        self.secret = secret if secret is not None else SecretKey.generate(
+            params.n, self.rng
+        )
+        self.ks_variant = ks_variant
+        self._hints_v1: dict[tuple[str, RnsBasis], KeySwitchHint] = {}
+        self._hints_v2: dict[tuple[str, RnsBasis], RaisedKeySwitchHint] = {}
+        self._special_primes: dict[RnsBasis, RnsBasis] = {}
+
+    # ------------------------------------------------------------ encryption
+    @property
+    def t(self) -> int:
+        return self.params.plaintext_modulus
+
+    def encode(self, values) -> np.ndarray:
+        """Coefficient-encode integers mod t into a plaintext polynomial."""
+        n = self.params.n
+        values = np.asarray(values, dtype=np.int64) % self.t
+        if values.shape[0] > n:
+            raise ValueError(f"too many values ({values.shape[0]}) for N={n}")
+        out = np.zeros(n, dtype=np.int64)
+        out[: values.shape[0]] = values
+        return out
+
+    def encrypt(self, plaintext, *, level: int | None = None) -> Ciphertext:
+        """Secret-key encrypt a length-<=N vector of integers mod t."""
+        m = self.encode(plaintext)
+        basis = self.params.basis_at(level) if level else self.params.basis
+        n = self.params.n
+        a = uniform_poly(basis, n, self.rng, Domain.NTT)
+        e = small_poly(basis, sample_error(n, self.params.error_width, self.rng), Domain.NTT)
+        m_poly = small_poly(basis, m, Domain.NTT)
+        b = a * self.secret.poly(basis) + e.scalar_mul(self.t) + m_poly
+        return Ciphertext(
+            a=a,
+            b=b,
+            noise_bits=noise_model.fresh_noise_bits(n, self.t, self.params.error_width),
+        )
+
+    def decrypt(self, ct: Ciphertext) -> np.ndarray:
+        """Decrypt to integers mod t (undoing any modulus-switch scale)."""
+        phase = ct.b - ct.a * self.secret.poly(ct.basis)
+        wide = phase.to_int_coeffs(centered=True)  # m + t*e, centered mod Q
+        t = self.t
+        correction = pow(ct.plaintext_scale, -1, t) if t > 1 else 0
+        return np.array([(c * correction) % t for c in wide], dtype=np.int64)
+
+    def noise_budget_bits(self, ct: Ciphertext) -> float:
+        """Measured log2(Q / (2*|noise|)); decryption fails when <= 0."""
+        phase = ct.b - ct.a * self.secret.poly(ct.basis)
+        wide = phase.to_int_coeffs(centered=True)
+        max_noise = max((abs(c) for c in wide), default=1)
+        return float(ct.basis.modulus.bit_length() - 1 - max(max_noise, 1).bit_length())
+
+    # ------------------------------------------------------ hint management
+    def _old_key_for_target(self, target: str, basis: RnsBasis) -> RnsPolynomial:
+        if target == "relin":
+            return self.secret.square_poly(basis)
+        if target.startswith("galois_"):
+            k = int(target.split("_", 1)[1])
+            coeffs = self.secret.automorphism_coeffs(k)
+            return small_poly(basis, coeffs, Domain.NTT)
+        raise ValueError(f"unknown key-switch target {target!r}")
+
+    def _old_key_int_coeffs(self, target: str) -> list[int]:
+        if target == "relin":
+            # s^2 over the integers (negacyclic); compute exactly at top basis.
+            basis = self.params.basis
+            sq = self.secret.square_poly(basis).to_int_coeffs(centered=True)
+            return sq
+        if target.startswith("galois_"):
+            k = int(target.split("_", 1)[1])
+            return [int(c) for c in self.secret.automorphism_coeffs(k)]
+        raise ValueError(f"unknown key-switch target {target!r}")
+
+    def hint_v1(self, target: str, basis: RnsBasis) -> KeySwitchHint:
+        key = (target, basis)
+        hint = self._hints_v1.get(key)
+        if hint is None:
+            old_key = self._old_key_for_target(target, basis)
+            hint = generate_ks_hint(
+                self.secret, target, old_key, self.t, self.params.error_width, self.rng
+            )
+            self._hints_v1[key] = hint
+        return hint
+
+    def hint_v2(self, target: str, basis: RnsBasis) -> RaisedKeySwitchHint:
+        key = (target, basis)
+        hint = self._hints_v2.get(key)
+        if hint is None:
+            special = self._special_basis_for(basis)
+            hint = generate_raised_ks_hint(
+                self.secret,
+                target,
+                self._old_key_int_coeffs(target),
+                basis,
+                special,
+                self.t,
+                self.params.error_width,
+                self.rng,
+            )
+            self._hints_v2[key] = hint
+        return hint
+
+    def _special_basis_for(self, basis: RnsBasis) -> RnsBasis:
+        special = self._special_primes.get(basis)
+        if special is None:
+            bits = max(q.bit_length() for q in basis.moduli)
+            # P must be ~>= Q for the raised-modulus noise bound: one special
+            # prime per ciphertext limb at the same width (wider would push
+            # products past 64 bits when the base primes are 32-bit).
+            candidates = ntt_friendly_primes(
+                self.params.n, bits, 2 * basis.level + 8
+            )
+            fresh = [p for p in candidates if p not in basis.moduli][: basis.level]
+            special = RnsBasis(fresh)
+            self._special_primes[basis] = special
+        return special
+
+    def _key_switch(self, x: RnsPolynomial, target: str) -> tuple[RnsPolynomial, RnsPolynomial, float]:
+        basis = x.basis
+        if self.ks_variant == 1:
+            u0, u1 = key_switch_v1(x, self.hint_v1(target, basis))
+            added = noise_model.keyswitch_v1_noise_bits(
+                x.n, self.t, basis.level, max(basis.moduli), self.params.error_width
+            )
+        else:
+            u0, u1 = key_switch_v2(x, self.hint_v2(target, basis), self.t)
+            u0, u1 = u0.to_ntt(), u1.to_ntt()
+            added = noise_model.keyswitch_v2_noise_bits(x.n, self.t, self.params.error_width)
+        return u0, u1, added
+
+    # --------------------------------------------------------------- HE ops
+    def add(self, ct0: Ciphertext, ct1: Ciphertext) -> Ciphertext:
+        self._check_pair(ct0, ct1, "add")
+        return ct0.with_polys(
+            ct0.a + ct1.a,
+            ct0.b + ct1.b,
+            noise_bits=noise_model.add_noise_bits(ct0.noise_bits, ct1.noise_bits),
+        )
+
+    def sub(self, ct0: Ciphertext, ct1: Ciphertext) -> Ciphertext:
+        self._check_pair(ct0, ct1, "sub")
+        return ct0.with_polys(
+            ct0.a - ct1.a,
+            ct0.b - ct1.b,
+            noise_bits=noise_model.add_noise_bits(ct0.noise_bits, ct1.noise_bits),
+        )
+
+    def add_plain(self, ct: Ciphertext, plaintext) -> Ciphertext:
+        m = small_poly(ct.basis, self._scaled_plain(ct, plaintext), Domain.NTT)
+        return ct.with_polys(ct.a, ct.b + m, noise_bits=ct.noise_bits + 0.1)
+
+    def mul_plain(self, ct: Ciphertext, plaintext) -> Ciphertext:
+        """Multiply by an unencrypted vector (cheaper: 2L limb multiplies)."""
+        m = small_poly(ct.basis, np.asarray(self.encode(plaintext)), Domain.NTT)
+        bits = noise_model.log2(self.t) + noise_model.log2(ct.n) / 2.0
+        return ct.with_polys(
+            ct.a * m, ct.b * m, noise_bits=ct.noise_bits + bits
+        )
+
+    def _scaled_plain(self, ct: Ciphertext, plaintext) -> np.ndarray:
+        """Encode a plaintext, pre-multiplied by the ciphertext's scale factor."""
+        m = self.encode(plaintext).astype(np.int64)
+        return (m * ct.plaintext_scale) % self.t
+
+    def mul(self, ct0: Ciphertext, ct1: Ciphertext, *, relinearize: bool = True) -> Ciphertext:
+        """Homomorphic multiplication: tensor, then key-switch l2 (Sec. 2.2.1)."""
+        self._check_pair(ct0, ct1, "mul")
+        l2 = ct0.a * ct1.a
+        l1 = ct0.a * ct1.b + ct1.a * ct0.b
+        l0 = ct0.b * ct1.b
+        raw_noise = noise_model.mul_noise_bits(
+            ct0.noise_bits, ct1.noise_bits, ct0.n, self.t
+        )
+        if not relinearize:
+            # Callers that batch relinearization can handle the 3-term form.
+            return Ciphertext(
+                a=l1, b=l0, plaintext_scale=ct0.plaintext_scale * ct1.plaintext_scale % self.t,
+                noise_bits=raw_noise,
+            )
+        u0, u1, ks_noise = self._key_switch(l2, "relin")
+        # u0 - u1*s = l2*s^2, so (l1+u1, l0+u0) decrypts to l0 - l1 s + l2 s^2.
+        return Ciphertext(
+            a=l1 + u1,
+            b=l0 + u0,
+            plaintext_scale=ct0.plaintext_scale * ct1.plaintext_scale % self.t,
+            noise_bits=max(raw_noise, ks_noise) + 1.0,
+        )
+
+    def automorphism(self, ct: Ciphertext, k: int) -> Ciphertext:
+        """Homomorphic sigma_k: permute both polys, key-switch the a-part."""
+        a_sigma = ct.a.automorphism(k)
+        b_sigma = ct.b.automorphism(k)
+        u0, u1, ks_noise = self._key_switch(a_sigma, f"galois_{k}")
+        return ct.with_polys(
+            -u1,
+            b_sigma - u0,
+            noise_bits=max(ct.noise_bits, ks_noise) + 1.0,
+        )
+
+    def rotate(self, ct: Ciphertext, steps: int) -> Ciphertext:
+        """Homomorphic slot rotation (automorphism with k = 3^steps)."""
+        return self.automorphism(ct, rotation_exponent(steps, ct.n))
+
+    def mod_switch(self, ct: Ciphertext) -> Ciphertext:
+        """Switch Q -> Q/q_L, scaling noise down by ~q_L (Sec. 2.2.2)."""
+        if ct.level <= 1:
+            raise ValueError("cannot modulus-switch the last limb away")
+        q_last = ct.basis.moduli[-1]
+        a_new = _rescale_bgv(ct.a, self.t)
+        b_new = _rescale_bgv(ct.b, self.t)
+        return ct.with_polys(
+            a_new,
+            b_new,
+            plaintext_scale=ct.plaintext_scale * pow(q_last, -1, self.t) % self.t
+            if self.t > 1
+            else 1,
+            noise_bits=noise_model.mod_switch_noise_bits(
+                ct.noise_bits, q_last, ct.n, self.t
+            ),
+        )
+
+    def mod_switch_to(self, ct: Ciphertext, level: int) -> Ciphertext:
+        while ct.level > level:
+            ct = self.mod_switch(ct)
+        return ct
+
+    def _check_pair(self, ct0: Ciphertext, ct1: Ciphertext, op: str) -> None:
+        if ct0.basis != ct1.basis:
+            raise ValueError(
+                f"{op}: ciphertexts at different levels "
+                f"({ct0.level} vs {ct1.level}); mod_switch first"
+            )
+        if op in ("add", "sub") and ct0.plaintext_scale != ct1.plaintext_scale:
+            raise ValueError(
+                f"{op}: plaintext scales differ "
+                f"({ct0.plaintext_scale} vs {ct1.plaintext_scale})"
+            )
+
+
+def _rescale_bgv(poly: RnsPolynomial, t: int) -> RnsPolynomial:
+    """Exact-division rescale by the last limb with delta ≡ 0 (mod t)."""
+    coeff = poly.to_coeff()
+    basis = coeff.basis
+    q_last = basis.moduli[-1]
+    new_basis = basis.drop()
+    # Centered last-limb residues u, then delta = u + q_last * w with
+    # w = [-u * q_last^{-1}]_t centered, so delta ≡ u (mod q_last), ≡ 0 (mod t).
+    u = coeff.limbs[-1].astype(np.int64)
+    u = np.where(u > q_last // 2, u - q_last, u)
+    if t > 1:
+        q_inv_t = pow(q_last % t, -1, t)
+        w = np.mod(-u * q_inv_t, t)
+        w = np.where(w > t // 2, w - t, w)
+    else:
+        w = np.zeros_like(u)
+    # |delta| <= q_last*(t+1)/2 < 2^63 for 32-bit q and t <= 2N: int64 is safe.
+    delta = u + q_last * w
+
+    out = np.empty((new_basis.level, coeff.n), dtype=np.uint64)
+    for j, q in enumerate(new_basis.moduli):
+        qq = np.uint64(q)
+        delta_mod = np.mod(delta, q).astype(np.uint64)
+        q_last_inv = np.uint64(pow(q_last % q, -1, q))
+        out[j] = ((coeff.limbs[j] + qq - delta_mod) % qq) * q_last_inv % qq
+    return RnsPolynomial(new_basis, out, Domain.COEFF).to_ntt()

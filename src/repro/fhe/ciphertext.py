@@ -1,0 +1,51 @@
+"""Ciphertext value type shared by BGV and CKKS.
+
+A ciphertext is a pair ``(a, b)`` of NTT-domain RNS polynomials with
+``b - a*s = m + t*e (mod Q)`` (BGV; for CKKS read ``Delta*m + e``).  Besides
+the polynomials it carries bookkeeping the schemes need:
+
+- ``plaintext_scale``: BGV modulus switching multiplies the plaintext by
+  ``q_L^{-1} (mod t)``; we track the accumulated factor and undo it at
+  decryption (equivalently one may restrict to ``q ≡ 1 mod t``, which holds
+  for power-of-two ``t ≤ 2N``);
+- ``scale``: the CKKS scale Delta;
+- ``noise_bits``: the analytic noise estimate (Sec. 2.2.2) maintained by
+  :mod:`repro.fhe.noise`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.poly.polynomial import RnsPolynomial
+from repro.rns.crt import RnsBasis
+
+
+@dataclass
+class Ciphertext:
+    a: RnsPolynomial
+    b: RnsPolynomial
+    plaintext_scale: int = 1      # BGV: accumulated [prod q_dropped^{-1}]_t
+    scale: float = 1.0            # CKKS: Delta
+    noise_bits: float = 0.0       # analytic noise estimate (log2)
+
+    @property
+    def basis(self) -> RnsBasis:
+        return self.a.basis
+
+    @property
+    def level(self) -> int:
+        return self.a.basis.level
+
+    @property
+    def n(self) -> int:
+        return self.a.n
+
+    def with_polys(self, a: RnsPolynomial, b: RnsPolynomial, **changes) -> "Ciphertext":
+        return replace(self, a=a, b=b, **changes)
+
+    def __repr__(self) -> str:
+        return (
+            f"Ciphertext(N={self.n}, L={self.level}, "
+            f"noise≈2^{self.noise_bits:.1f}, scale={self.scale:g})"
+        )

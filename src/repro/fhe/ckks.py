@@ -1,0 +1,149 @@
+"""CKKS scheme (Sec. 2.5): approximate arithmetic on complex/fixed-point slots.
+
+Structurally identical to BGV at the polynomial level — same primitive mix of
+NTTs, automorphisms, element-wise modular ops, and key switching — which is
+exactly why F1 supports both schemes on one substrate.  Differences: the
+plaintext rides in the high bits at scale Delta (no ``t`` factor on errors),
+multiplication is followed by *rescaling* (the CKKS analogue of modulus
+switching), and slots are N/2 complex values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fhe import noise as noise_model
+from repro.fhe.bgv import BgvContext, _rescale_bgv
+from repro.fhe.ciphertext import Ciphertext
+from repro.fhe.encoding import CkksEncoder
+from repro.fhe.params import FheParams
+from repro.fhe.sampling import sample_error, small_poly, uniform_poly
+from repro.poly.polynomial import Domain
+
+
+def ckks_rotation_exponent(steps: int, n: int) -> int:
+    """Galois exponent rotating CKKS slots by ``steps``: k = 5^steps mod 2N."""
+    return pow(5, steps, 2 * n)
+
+
+CONJUGATION_EXPONENT = -1  # sigma_{-1} conjugates all slots
+
+
+class CkksContext(BgvContext):
+    """CKKS on top of the shared RLWE machinery (keys, hints, key switching).
+
+    The plaintext modulus of the underlying machinery is forced to 1 so that
+    hint errors and rescaling corrections enter without a ``t`` factor.
+    """
+
+    def __init__(self, params: FheParams, *, scale: float | None = None, seed: int = 0, ks_variant: int = 2):
+        # Variant 2 (raised modulus) is the CKKS default: the Listing-1
+        # variant adds ~q-magnitude noise, which swamps values held at scale
+        # Delta ~ q.  BGV tolerates it because noise rides above t, not Delta.
+        if params.plaintext_modulus != 1:
+            params = FheParams(
+                n=params.n,
+                basis=params.basis,
+                plaintext_modulus=1,
+                error_width=params.error_width,
+                allow_insecure=params.allow_insecure,
+            )
+        super().__init__(params, seed=seed, ks_variant=ks_variant)
+        self.default_scale = float(scale) if scale else float(min(params.basis.moduli))
+        self.encoder = CkksEncoder(params.n, self.default_scale)
+
+    # ------------------------------------------------------------ encryption
+    def encrypt_values(self, values, *, level: int | None = None, scale: float | None = None) -> Ciphertext:
+        """Encrypt complex/real slot values at the given scale."""
+        scale = scale or self.default_scale
+        coeffs = CkksEncoder(self.params.n, scale).encode(values)
+        basis = self.params.basis_at(level) if level else self.params.basis
+        n = self.params.n
+        a = uniform_poly(basis, n, self.rng, Domain.NTT)
+        e = small_poly(basis, sample_error(n, self.params.error_width, self.rng), Domain.NTT)
+        m_poly = small_poly(basis, coeffs, Domain.NTT)
+        b = a * self.secret.poly(basis) + e + m_poly
+        return Ciphertext(a=a, b=b, scale=scale, noise_bits=3.0)
+
+    def decrypt_values(self, ct: Ciphertext, count: int | None = None) -> np.ndarray:
+        """Decrypt to complex slot values."""
+        phase = ct.b - ct.a * self.secret.poly(ct.basis)
+        wide = phase.to_int_coeffs(centered=True)
+        slots = CkksEncoder(self.params.n, ct.scale).decode(
+            np.array(wide, dtype=np.float64)
+        )
+        return slots[:count] if count else slots
+
+    # --------------------------------------------------------------- HE ops
+    def add(self, ct0: Ciphertext, ct1: Ciphertext) -> Ciphertext:
+        self._check_ckks_pair(ct0, ct1, "add")
+        out = ct0.with_polys(ct0.a + ct1.a, ct0.b + ct1.b)
+        out.noise_bits = noise_model.add_noise_bits(ct0.noise_bits, ct1.noise_bits)
+        return out
+
+    def sub(self, ct0: Ciphertext, ct1: Ciphertext) -> Ciphertext:
+        self._check_ckks_pair(ct0, ct1, "sub")
+        out = ct0.with_polys(ct0.a - ct1.a, ct0.b - ct1.b)
+        out.noise_bits = noise_model.add_noise_bits(ct0.noise_bits, ct1.noise_bits)
+        return out
+
+    def add_plain(self, ct: Ciphertext, values) -> Ciphertext:
+        coeffs = CkksEncoder(self.params.n, ct.scale).encode(values)
+        m = small_poly(ct.basis, coeffs, Domain.NTT)
+        return ct.with_polys(ct.a, ct.b + m)
+
+    def mul_plain(self, ct: Ciphertext, values, *, scale: float | None = None) -> Ciphertext:
+        scale = scale or self.default_scale
+        coeffs = CkksEncoder(self.params.n, scale).encode(values)
+        m = small_poly(ct.basis, coeffs, Domain.NTT)
+        return ct.with_polys(ct.a * m, ct.b * m, scale=ct.scale * scale)
+
+    def mul(self, ct0: Ciphertext, ct1: Ciphertext, *, relinearize: bool = True) -> Ciphertext:
+        self._check_ckks_pair(ct0, ct1, "mul")
+        l2 = ct0.a * ct1.a
+        l1 = ct0.a * ct1.b + ct1.a * ct0.b
+        l0 = ct0.b * ct1.b
+        u0, u1, ks_noise = self._key_switch(l2, "relin")
+        return Ciphertext(
+            a=l1 + u1,
+            b=l0 + u0,
+            scale=ct0.scale * ct1.scale,
+            noise_bits=ct0.noise_bits + ct1.noise_bits + ks_noise / 4.0,
+        )
+
+    def rescale(self, ct: Ciphertext) -> Ciphertext:
+        """Divide by q_last: the CKKS noise/scale management step."""
+        if ct.level <= 1:
+            raise ValueError("cannot rescale the last limb away")
+        q_last = ct.basis.moduli[-1]
+        return ct.with_polys(
+            _rescale_bgv(ct.a, 1),
+            _rescale_bgv(ct.b, 1),
+            scale=ct.scale / q_last,
+            noise_bits=max(ct.noise_bits - np.log2(q_last), 3.0) + 1.0,
+        )
+
+    def mod_switch(self, ct: Ciphertext) -> Ciphertext:
+        """Drop a limb, preserving the encrypted value and scale.
+
+        The CKKS phase Delta*m + e is tiny relative to Q, so truncating the
+        RNS basis keeps it intact modulo the smaller Q' (this is the CKKS
+        "mod down" used to align levels without rescaling)."""
+        if ct.level <= 1:
+            raise ValueError("cannot drop the last limb")
+        return ct.with_polys(
+            ct.a.to_coeff().drop_limb().to_ntt(),
+            ct.b.to_coeff().drop_limb().to_ntt(),
+        )
+
+    def rotate(self, ct: Ciphertext, steps: int) -> Ciphertext:
+        return self.automorphism(ct, ckks_rotation_exponent(steps, ct.n))
+
+    def conjugate(self, ct: Ciphertext) -> Ciphertext:
+        return self.automorphism(ct, CONJUGATION_EXPONENT)
+
+    def _check_ckks_pair(self, ct0: Ciphertext, ct1: Ciphertext, op: str) -> None:
+        if ct0.basis != ct1.basis:
+            raise ValueError(f"{op}: levels differ; rescale/mod_switch first")
+        if not np.isclose(ct0.scale, ct1.scale, rtol=1e-9):
+            raise ValueError(f"{op}: scales differ ({ct0.scale} vs {ct1.scale})")

@@ -1,0 +1,121 @@
+"""Plaintext encoders: BGV SIMD batching and CKKS canonical embedding.
+
+**BatchEncoder** (BGV): when the plaintext modulus ``t`` is a prime with
+``t ≡ 1 (mod 2N)``, the plaintext ring R_t splits into N slots via a
+negacyclic NTT mod t.  Slots are ordered along the orbit of the Galois
+generator g=3 (two hypercolumns of N/2, as in HElib), so the rotation
+automorphism ``sigma_{3^r}`` acts as a cyclic rotation by r within each
+hypercolumn.
+
+**CkksEncoder**: the canonical embedding of R = Z[x]/(x^N+1) into C^{N/2}.
+Slot i holds ``m(zeta^{5^i})`` (zeta a primitive complex 2N-th root), so
+``sigma_{5^r}`` rotates slots cyclically and ``sigma_{-1}`` conjugates them.
+Encoding scales by Delta and rounds to integer coefficients.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.poly.ntt import get_context
+
+
+class BatchEncoder:
+    """SIMD slot encoder for BGV with prime t ≡ 1 (mod 2N)."""
+
+    def __init__(self, n: int, t: int):
+        if (t - 1) % (2 * n):
+            raise ValueError(f"t={t} must be ≡ 1 mod 2N for batching (N={n})")
+        self.n = n
+        self.t = t
+        self._ctx = get_context(n, t)
+        # Slot ordering: exponent orbit of g=3.  Hypercolumn 0 holds the NTT
+        # slots whose exponent is 3^i mod 2N; hypercolumn 1 holds -3^i.
+        order = []
+        exp_to_slot = {2 * j + 1: j for j in range(n)}
+        g, m = 3, 2 * n
+        e = 1
+        half = n // 2
+        for _ in range(half):
+            order.append(exp_to_slot[e])
+            e = e * g % m
+        e = m - 1  # -1
+        for _ in range(half):
+            order.append(exp_to_slot[e])
+            e = e * g % m
+        self._slot_of_position = np.array(order)
+
+    def encode(self, values) -> np.ndarray:
+        """values: length-N vector (two N/2 hypercolumns) -> plaintext poly."""
+        values = np.asarray(values, dtype=np.int64) % self.t
+        if values.shape[0] != self.n:
+            padded = np.zeros(self.n, dtype=np.int64)
+            padded[: values.shape[0]] = values
+            values = padded
+        slots = np.zeros(self.n, dtype=np.uint64)
+        slots[self._slot_of_position] = values.astype(np.uint64)
+        return self._ctx.inverse(slots).astype(np.int64)
+
+    def decode(self, poly_coeffs) -> np.ndarray:
+        coeffs = np.asarray(poly_coeffs, dtype=np.int64) % self.t
+        slots = self._ctx.forward(coeffs.astype(np.uint64))
+        return slots[self._slot_of_position].astype(np.int64)
+
+    def rotated(self, values, steps: int) -> np.ndarray:
+        """Reference slot semantics of sigma_{3^steps}: rotate each hypercolumn."""
+        values = np.asarray(values)
+        half = self.n // 2
+        lo, hi = values[:half], values[half:]
+        return np.concatenate([np.roll(lo, -steps), np.roll(hi, -steps)])
+
+
+class CkksEncoder:
+    """Canonical-embedding encoder: C^{N/2} slots <-> integer polynomials."""
+
+    def __init__(self, n: int, scale: float):
+        self.n = n
+        self.slots = n // 2
+        self.scale = float(scale)
+        self._roots, self._inv_matrix_rows = _embedding_tables(n)
+
+    def encode(self, values) -> np.ndarray:
+        """Complex (or real) slot values -> scaled integer coefficients."""
+        z = np.zeros(self.slots, dtype=np.complex128)
+        values = np.asarray(values, dtype=np.complex128).reshape(-1)
+        if values.shape[0] > self.slots:
+            raise ValueError(f"too many slot values for N={self.n}")
+        z[: values.shape[0]] = values
+        # Full conjugate-symmetric evaluation vector over exponents 5^i, -5^i.
+        full = np.concatenate([z, np.conj(z)])
+        coeffs = self._inv_matrix_rows @ full  # (1/N) V* z, exactly real
+        scaled = np.round(coeffs.real * self.scale).astype(np.int64)
+        return scaled
+
+    def decode(self, coeffs, scale: float | None = None) -> np.ndarray:
+        """Integer (centered) coefficients -> complex slot values."""
+        scale = self.scale if scale is None else float(scale)
+        coeffs = np.asarray(coeffs, dtype=np.float64)
+        # Evaluate m at zeta^(5^i): Vandermonde-vector product per slot.
+        powers = self._roots  # shape (slots, n)
+        return (powers @ coeffs) / scale
+
+
+@lru_cache(maxsize=None)
+def _embedding_tables(n: int):
+    """(evaluation matrix rows for slots, inverse-embedding rows)."""
+    m = 2 * n
+    slots = n // 2
+    zeta = np.exp(2j * np.pi / m)
+    exps = []
+    e = 1
+    for _ in range(slots):
+        exps.append(e)
+        e = e * 5 % m
+    exps_conj = [m - e for e in exps]
+    k = np.arange(n)
+    rows = np.stack([zeta ** ((e * k) % m) for e in exps])  # (slots, n)
+    rows_full = np.vstack([rows, np.stack([zeta ** ((e * k) % m) for e in exps_conj])])
+    inv_rows = rows_full.conj().T / n  # (n, n): coeffs = inv_rows @ values
+    return rows, inv_rows

@@ -1,0 +1,116 @@
+"""GSW scheme (Sec. 2.5): matrix ciphertexts with asymmetric noise growth.
+
+An RGSW ciphertext of a small polynomial ``m`` is 2L RLWE pairs built around
+the RNS-CRT gadget (the same D_i basis the key switch uses):
+
+    C0[i] = (a_i,  a_i*s + t*e_i  + m * D_i)        -- "b-digit" rows
+    C1[i] = (a'_i, a'_i*s + t*e'_i + m * D_i * s)   -- "a-digit" rows
+
+The *external product* RGSW(m) ⊡ RLWE(mu) decomposes the RLWE pair into RNS
+digits and takes inner products with the rows, yielding RLWE(m * mu) with
+noise growing only with ``|m|`` and the digit magnitudes — GSW's hallmark
+asymmetric growth.  F1 supports GSW with the same primitive mix (Sec. 2.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fhe.bgv import BgvContext
+from repro.fhe.ciphertext import Ciphertext
+from repro.fhe.sampling import sample_error, small_poly, uniform_poly
+from repro.poly.ntt import get_context
+from repro.poly.polynomial import Domain, RnsPolynomial
+
+
+@dataclass
+class GswCiphertext:
+    """2L RLWE rows: c0/c1 lists of (a, b) NTT-domain polynomial pairs."""
+
+    c0: list[tuple[RnsPolynomial, RnsPolynomial]]
+    c1: list[tuple[RnsPolynomial, RnsPolynomial]]
+
+    @property
+    def level(self) -> int:
+        return len(self.c0)
+
+
+class GswContext:
+    """GSW encryption and external products on top of a BGV context's keys."""
+
+    def __init__(self, bgv: BgvContext):
+        self.bgv = bgv
+
+    def encrypt(self, m_coeffs) -> GswCiphertext:
+        """Encrypt a small integer polynomial (e.g. a bit or monomial)."""
+        bgv = self.bgv
+        params = bgv.params
+        basis = params.basis
+        n = params.n
+        t = params.plaintext_modulus
+        s = bgv.secret.poly(basis)
+        m = small_poly(basis, np.asarray(m_coeffs, dtype=np.int64), Domain.NTT)
+        m_s = m * s
+        c0, c1 = [], []
+        for i in range(basis.level):
+            rows = []
+            for target in (m, m_s):
+                a = uniform_poly(basis, n, bgv.rng, Domain.NTT)
+                e = small_poly(basis, sample_error(n, params.error_width, bgv.rng), Domain.NTT)
+                masked = RnsPolynomial.zeros(basis, n, Domain.NTT)
+                masked.limbs[i] = target.limbs[i]  # m * D_i via indicator
+                b = a * s + e.scalar_mul(t) + masked
+                rows.append((a, b))
+            c0.append(rows[0])
+            c1.append(rows[1])
+        return GswCiphertext(c0=c0, c1=c1)
+
+    def external_product(self, gsw: GswCiphertext, ct: Ciphertext) -> Ciphertext:
+        """RGSW(m) ⊡ RLWE(mu) -> RLWE(m * mu)."""
+        basis = ct.basis
+        if gsw.level != basis.level:
+            raise ValueError("GSW ciphertext level does not match RLWE input")
+        n = ct.n
+        moduli = basis.moduli
+        a_digits = _rns_digits(ct.a)
+        b_digits = _rns_digits(ct.b)
+        out_a = RnsPolynomial.zeros(basis, n, Domain.NTT)
+        out_b = RnsPolynomial.zeros(basis, n, Domain.NTT)
+        for i in range(basis.level):
+            a0_i, b0_i = gsw.c0[i]
+            a1_i, b1_i = gsw.c1[i]
+            for j, q in enumerate(moduli):
+                qq = np.uint64(q)
+                bd = b_digits[i][j]
+                ad = a_digits[i][j]
+                # result += b_digit * C0[i] - a_digit * C1[i]
+                out_a.limbs[j] = (
+                    out_a.limbs[j] + bd * a0_i.limbs[j] % qq + (qq - ad * a1_i.limbs[j] % qq)
+                ) % qq
+                out_b.limbs[j] = (
+                    out_b.limbs[j] + bd * b0_i.limbs[j] % qq + (qq - ad * b1_i.limbs[j] % qq)
+                ) % qq
+        return ct.with_polys(out_a, out_b, noise_bits=ct.noise_bits + 12.0)
+
+    def decrypt(self, ct: Ciphertext) -> np.ndarray:
+        return self.bgv.decrypt(ct)
+
+
+def _rns_digits(x: RnsPolynomial) -> list[list[np.ndarray]]:
+    """digits[i][j] = NTT_{q_j}(lift of x mod q_i), as in Listing 1."""
+    basis = x.basis
+    n = x.n
+    moduli = basis.moduli
+    y = [get_context(n, moduli[i]).inverse(x.limbs[i]) for i in range(basis.level)]
+    digits: list[list[np.ndarray]] = []
+    for i in range(basis.level):
+        row = []
+        for j, qj in enumerate(moduli):
+            if i == j:
+                row.append(x.limbs[i])
+            else:
+                row.append(get_context(n, qj).forward(y[i] % np.uint64(qj)))
+        digits.append(row)
+    return digits

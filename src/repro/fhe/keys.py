@@ -1,0 +1,174 @@
+"""Secret keys and key-switch hints.
+
+A :class:`SecretKey` stores small integer coefficients and lazily caches its
+RNS/NTT form at every basis in the modulus chain (modulus switching shortens
+the basis, and hints are per-basis data — which is why key-switch hints
+dominate off-chip traffic in Fig. 9a).
+
+Key-switch hints (Sec. 2.4, Listing 1) let a ciphertext component encrypted
+under a key ``s_old`` (e.g. ``s^2`` after a multiplication, or ``sigma_k(s)``
+after an automorphism) be re-encrypted under ``s``.  The RNS-decomposition
+hint for limb i is the pair
+
+    hint1[i] = a_i                      (uniform)
+    hint0[i] = a_i * s + t * e_i + D_i * s_old
+
+where ``D_i = (Q/q_i) * [(Q/q_i)^{-1}]_{q_i}`` is the CRT interpolation basis
+element — whose RNS representation is simply the indicator of limb i, so the
+``D_i * s_old`` term is ``s_old`` masked to limb i.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fhe.sampling import sample_error, sample_ternary, small_poly, uniform_poly
+from repro.poly.automorphism import automorphism_coeff
+from repro.poly.polynomial import Domain, RnsPolynomial
+from repro.rns.crt import RnsBasis
+
+
+class SecretKey:
+    """Ternary secret with per-basis cached NTT forms."""
+
+    def __init__(self, coeffs: np.ndarray):
+        self.coeffs = np.asarray(coeffs, dtype=np.int64)
+        self.n = self.coeffs.shape[0]
+        self._cache: dict[RnsBasis, RnsPolynomial] = {}
+        self._square_cache: dict[RnsBasis, RnsPolynomial] = {}
+
+    @classmethod
+    def generate(cls, n: int, rng: np.random.Generator) -> "SecretKey":
+        return cls(sample_ternary(n, rng))
+
+    def poly(self, basis: RnsBasis) -> RnsPolynomial:
+        """NTT-domain RNS form of s at the given basis."""
+        cached = self._cache.get(basis)
+        if cached is None:
+            cached = small_poly(basis, self.coeffs, Domain.NTT)
+            self._cache[basis] = cached
+        return cached
+
+    def square_poly(self, basis: RnsBasis) -> RnsPolynomial:
+        """NTT-domain form of s^2 (the relinearization target key)."""
+        cached = self._square_cache.get(basis)
+        if cached is None:
+            s = self.poly(basis)
+            cached = s * s
+            self._square_cache[basis] = cached
+        return cached
+
+    def automorphism_coeffs(self, k: int) -> np.ndarray:
+        """Integer coefficients of sigma_k(s) (signed)."""
+        # Apply the permutation+sign on signed integers directly.
+        n = self.n
+        k = k % (2 * n)
+        out = np.zeros(n, dtype=np.int64)
+        for i in range(n):
+            ik = i * k
+            value = self.coeffs[i]
+            if (ik % (2 * n)) >= n:
+                value = -value
+            out[ik % n] = value
+        return out
+
+
+@dataclass
+class KeySwitchHint:
+    """RNS-decomposition key-switch hint (variant 1, Listing 1).
+
+    ``hint0[i]``/``hint1[i]`` are NTT-domain polynomials at ``basis``; the
+    hint totals ``2 * L`` residue-polynomial *rows* but its scheduling
+    footprint is the full ``2 * L^2`` RVecs the paper counts, because every
+    row is consumed at all L limb moduli.
+    """
+
+    target: str
+    basis: RnsBasis
+    hint0: list[RnsPolynomial]
+    hint1: list[RnsPolynomial]
+
+    @property
+    def level(self) -> int:
+        return self.basis.level
+
+
+@dataclass
+class RaisedKeySwitchHint:
+    """Raised-modulus hint (variant 2, GHS-style; hints grow as O(L)).
+
+    The hint is a single pair of polynomials over the extended basis Q*P
+    where P (the product of the special primes) is comparable to Q.
+    """
+
+    target: str
+    basis: RnsBasis            # ciphertext basis Q
+    extended: RnsBasis         # Q * P
+    special: RnsBasis          # P
+    hint0: RnsPolynomial       # over extended basis
+    hint1: RnsPolynomial
+
+
+def generate_ks_hint(
+    secret: SecretKey,
+    target: str,
+    old_key: RnsPolynomial,
+    plaintext_modulus: int,
+    error_width: int,
+    rng: np.random.Generator,
+) -> KeySwitchHint:
+    """Generate a variant-1 hint re-encrypting ``old_key``-terms under ``secret``."""
+    basis = old_key.basis
+    n = old_key.n
+    s = secret.poly(basis)
+    t = plaintext_modulus
+    hint0: list[RnsPolynomial] = []
+    hint1: list[RnsPolynomial] = []
+    for i in range(basis.level):
+        a_i = uniform_poly(basis, n, rng, Domain.NTT)
+        e_i = small_poly(basis, sample_error(n, error_width, rng), Domain.NTT)
+        # D_i * s_old: s_old masked to limb i (indicator property of D_i).
+        masked = RnsPolynomial.zeros(basis, n, Domain.NTT)
+        masked.limbs[i] = old_key.limbs[i]
+        h0 = a_i * s + e_i.scalar_mul(t) + masked
+        hint0.append(h0)
+        hint1.append(a_i)
+    return KeySwitchHint(target=target, basis=basis, hint0=hint0, hint1=hint1)
+
+
+def generate_raised_ks_hint(
+    secret: SecretKey,
+    target: str,
+    old_key_coeff_ints: list[int],
+    basis: RnsBasis,
+    special: RnsBasis,
+    plaintext_modulus: int,
+    error_width: int,
+    rng: np.random.Generator,
+) -> RaisedKeySwitchHint:
+    """Generate a variant-2 hint over the extended basis Q*P.
+
+    ``old_key_coeff_ints`` are the wide integer coefficients of the old key
+    (needed because the hint embeds ``P * s_old`` over Q*P).
+    """
+    extended = RnsBasis(basis.moduli + special.moduli)
+    n = secret.n
+    t = plaintext_modulus
+    p_product = special.modulus
+    s_ext = secret.poly(extended)
+    a = uniform_poly(extended, n, rng, Domain.NTT)
+    e = small_poly(extended, sample_error(n, error_width, rng), Domain.NTT)
+    p_s_old = RnsPolynomial.from_int_coeffs(
+        extended, [c * p_product for c in old_key_coeff_ints]
+    ).to_ntt()
+    hint0 = a * s_ext + e.scalar_mul(t) + p_s_old
+    return RaisedKeySwitchHint(
+        target=target,
+        basis=basis,
+        extended=extended,
+        special=special,
+        hint0=hint0,
+        hint1=a,
+    )

@@ -1,0 +1,152 @@
+"""Key switching — the dominant FHE kernel (Sec. 2.4).
+
+Two algorithmic variants, matching the paper's "algorithmic diversity"
+discussion (the F1 compiler chooses between them based on L and reuse):
+
+- :func:`key_switch_v1`: the Listing-1 RNS-decomposition method.  Per call:
+  L inverse NTTs, ~L^2 forward NTTs, 2L^2 multiplies and 2L^2 adds of
+  N-element vectors; hint storage grows as L^2.
+- :func:`key_switch_v2`: raised-modulus (GHS-style).  The input is base-
+  extended to Q*P (P ≈ Q), multiplied by a single hint pair, and scaled back
+  down.  More compute per call (NTTs over ~2L limbs plus two base
+  conversions) but hint storage grows only as L.
+
+Both return ``(u0, u1)`` such that ``u0 - u1 * s ≈ x * s_old  (mod Q)`` up to
+``t``-multiple noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fhe.keys import KeySwitchHint, RaisedKeySwitchHint
+from repro.poly.ntt import get_context
+from repro.poly.polynomial import Domain, RnsPolynomial
+from repro.rns.crt import RnsBasis
+
+
+def key_switch_v1(x: RnsPolynomial, hint: KeySwitchHint) -> tuple[RnsPolynomial, RnsPolynomial]:
+    """Listing 1, verbatim: RNS-digit decomposition key switch.
+
+    ``x`` must be NTT-domain at the hint's basis.
+    """
+    if x.domain is not Domain.NTT:
+        raise ValueError("key_switch_v1 expects an NTT-domain input")
+    if x.basis != hint.basis:
+        raise ValueError("input basis does not match hint basis")
+    basis = x.basis
+    n = x.n
+    level = basis.level
+    moduli = basis.moduli
+
+    # y[i] = INTT(x[i], q_i): the digit polynomials, in coefficient form.
+    y = [get_context(n, moduli[i]).inverse(x.limbs[i]) for i in range(level)]
+
+    u0 = RnsPolynomial.zeros(basis, n, Domain.NTT)
+    u1 = RnsPolynomial.zeros(basis, n, Domain.NTT)
+    for i in range(level):
+        for j in range(level):
+            if i == j:
+                xqj = x.limbs[i]
+            else:
+                qj = moduli[j]
+                # Lift digit (coefficients in [0, q_i)) and reduce mod q_j.
+                xqj = get_context(n, qj).forward(y[i] % np.uint64(qj))
+            qq = np.uint64(moduli[j])
+            u0.limbs[j] = (u0.limbs[j] + xqj * hint.hint0[i].limbs[j] % qq) % qq
+            u1.limbs[j] = (u1.limbs[j] + xqj * hint.hint1[i].limbs[j] % qq) % qq
+    return u0, u1
+
+
+def key_switch_v2(
+    x: RnsPolynomial,
+    hint: RaisedKeySwitchHint,
+    plaintext_modulus: int,
+) -> tuple[RnsPolynomial, RnsPolynomial]:
+    """Raised-modulus key switch: base-extend, one hint multiply, scale down."""
+    if x.domain is not Domain.NTT:
+        raise ValueError("key_switch_v2 expects an NTT-domain input")
+    if x.basis != hint.basis:
+        raise ValueError("input basis does not match hint basis")
+    x_ext = base_extend(x.to_coeff(), hint.extended).to_ntt()
+    u0_ext = x_ext * hint.hint0
+    u1_ext = x_ext * hint.hint1
+    u0 = scale_down(u0_ext, hint.special, plaintext_modulus)
+    u1 = scale_down(u1_ext, hint.special, plaintext_modulus)
+    return u0, u1
+
+
+def base_extend(x: RnsPolynomial, extended: RnsBasis) -> RnsPolynomial:
+    """Fast RNS base extension (coefficient domain -> coefficient domain).
+
+    Computes ``x + u*Q`` over the extended basis for some small integer
+    polynomial ``u`` with ``0 <= u < L`` (the standard approximate CRT lift;
+    the ``u*Q`` term is annihilated by the subsequent scale-down mod Q).
+    """
+    if x.domain is not Domain.COEFF:
+        raise ValueError("base_extend expects a coefficient-domain input")
+    basis = x.basis
+    old = set(basis.moduli)
+    n = x.n
+    weights = basis.crt_weights()
+    # Digits: d_i = [x_i * (Q/q_i)^{-1}]_{q_i}, coefficients in [0, q_i).
+    digits = []
+    for i, q in enumerate(basis.moduli):
+        inv = np.uint64(weights[i][1])
+        digits.append((x.limbs[i] * inv) % np.uint64(q))
+    out = np.empty((extended.level, n), dtype=np.uint64)
+    for j, p in enumerate(extended.moduli):
+        if p in old:
+            out[j] = x.limbs[basis.moduli.index(p)]
+            continue
+        acc = np.zeros(n, dtype=np.uint64)
+        pp = np.uint64(p)
+        for i, q in enumerate(basis.moduli):
+            q_over_p = np.uint64(weights[i][0] % p)
+            term = (digits[i] % pp) * q_over_p % pp  # keep partials < 2^64
+            acc = (acc + term) % pp
+        out[j] = acc
+    return RnsPolynomial(extended, out, Domain.COEFF)
+
+
+def scale_down(
+    x: RnsPolynomial,
+    special: RnsBasis,
+    plaintext_modulus: int,
+) -> RnsPolynomial:
+    """Divide-and-round by P = prod(special), keeping the result ≡ 0 shift mod t.
+
+    ``x`` is over Q*P (special limbs last); returns round-to-multiple result
+    over Q, where the subtracted correction ``delta ≡ x (mod P)`` and
+    ``delta ≡ 0 (mod t)`` so BGV plaintexts survive unscathed apart from the
+    tracked ``P^{-1} mod t`` factor.
+    """
+    x = x.to_coeff()
+    ext = x.basis
+    n_special = special.level
+    q_moduli = ext.moduli[:-n_special]
+    if ext.moduli[-n_special:] != special.moduli:
+        raise ValueError("special basis must be the trailing limbs of x's basis")
+    basis_q = RnsBasis(q_moduli)
+    n = x.n
+    t = plaintext_modulus
+    p_product = special.modulus
+
+    # Centered value of x mod P, reconstructed exactly (P has few limbs and
+    # this is the functional layer — exactness keeps noise analysis clean).
+    special_limbs = x.limbs[-n_special:]
+    v_int = special.from_rns(special_limbs, centered=True)
+    # Correction w so that delta = v + P*w ≡ 0 (mod t).
+    p_inv_t = pow(p_product % t, -1, t) if t > 1 else 0
+    v_arr = np.array(v_int, dtype=object)
+    w = np.array([(-vi * p_inv_t) % t for vi in v_int], dtype=object)
+    w = np.where(w > t // 2, w - t, w)  # centered
+    delta = v_arr + p_product * w
+
+    out = np.empty((basis_q.level, n), dtype=np.uint64)
+    for j, q in enumerate(q_moduli):
+        p_inv_q = pow(p_product % q, -1, q)
+        delta_mod = np.array([int(d) % q for d in delta], dtype=np.uint64)
+        qq = np.uint64(q)
+        out[j] = ((x.limbs[j] + qq - delta_mod) % qq * np.uint64(p_inv_q)) % qq
+    return RnsPolynomial(basis_q, out, Domain.COEFF)

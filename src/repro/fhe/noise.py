@@ -1,0 +1,51 @@
+"""Analytic noise growth model (Sec. 2.2.2).
+
+The schemes track a per-ciphertext log2 noise estimate so tests and the
+compiler's level budgeting can reason about depth without decrypting.  The
+formulas are standard worst-case-ish bounds specialized to ternary secrets;
+they are intentionally conservative (a few bits of slack) — tests assert both
+that decryption succeeds *and* that the tracked estimate upper-bounds the
+observed noise.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def log2(x: float) -> float:
+    return math.log2(max(x, 1.0))
+
+
+def fresh_noise_bits(n: int, t: int, error_width: int) -> float:
+    """Noise of a fresh encryption: |t*e + small terms| ~ t * sigma * sqrt-ish."""
+    sigma = math.sqrt(error_width / 2.0)
+    return log2(t * sigma * 8.0)
+
+
+def add_noise_bits(noise_a: float, noise_b: float) -> float:
+    """Addition: noise adds; in log space, max + 1 bound."""
+    return max(noise_a, noise_b) + 1.0
+
+
+def mul_noise_bits(noise_a: float, noise_b: float, n: int, t: int) -> float:
+    """Multiplication (pre key-switch): products of noise terms convolve."""
+    return noise_a + noise_b + log2(n) / 2.0 + log2(t)
+
+
+def keyswitch_v1_noise_bits(n: int, t: int, level: int, max_prime: int, error_width: int) -> float:
+    """Added noise of the Listing-1 key switch: t * sum_i d_i * e_i."""
+    sigma = math.sqrt(error_width / 2.0)
+    return log2(t) + log2(level) + log2(max_prime) + log2(sigma) + log2(n) / 2.0
+
+
+def keyswitch_v2_noise_bits(n: int, t: int, error_width: int) -> float:
+    """Added noise of the raised-modulus key switch: ~ t*e*N*Q/P ≈ t*e*N."""
+    sigma = math.sqrt(error_width / 2.0)
+    return log2(t) + log2(sigma) + log2(n) + 2.0
+
+def mod_switch_noise_bits(noise: float, dropped_prime: int, n: int, t: int) -> float:
+    """Modulus switching scales noise by 1/q_L and adds a rounding term."""
+    scaled = noise - log2(dropped_prime)
+    rounding = log2(t) + log2(n) / 2.0 + 2.0
+    return max(scaled, rounding) + 1.0

@@ -1,0 +1,41 @@
+"""Samplers for secrets, errors, and uniform ring elements."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.poly.polynomial import Domain, RnsPolynomial
+from repro.rns.crt import RnsBasis
+
+
+def sample_ternary(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Ternary secret coefficients in {-1, 0, 1} (int64)."""
+    return rng.integers(-1, 2, size=n, dtype=np.int64)
+
+
+def sample_error(n: int, width: int, rng: np.random.Generator) -> np.ndarray:
+    """Centered-binomial error with parameter ``width`` (sigma = sqrt(width/2))."""
+    bits = rng.integers(0, 2, size=(n, 2 * width), dtype=np.int64)
+    return bits[:, :width].sum(axis=1) - bits[:, width:].sum(axis=1)
+
+
+def small_poly(basis: RnsBasis, coeffs: np.ndarray, domain: Domain = Domain.COEFF) -> RnsPolynomial:
+    """Lift small signed integer coefficients into RNS form."""
+    limbs = np.empty((basis.level, coeffs.shape[0]), dtype=np.uint64)
+    for i, q in enumerate(basis.moduli):
+        limbs[i] = np.mod(coeffs, q).astype(np.uint64)
+    poly = RnsPolynomial(basis, limbs, Domain.COEFF)
+    return poly.to_ntt() if domain is Domain.NTT else poly
+
+
+def uniform_poly(basis: RnsBasis, n: int, rng: np.random.Generator, domain: Domain = Domain.NTT) -> RnsPolynomial:
+    """Uniform element of R_Q.
+
+    Sampling each limb independently and uniformly is exactly uniform over
+    R_Q by CRT, and avoids wide-integer work.
+    """
+    limbs = np.empty((basis.level, n), dtype=np.uint64)
+    for i, q in enumerate(basis.moduli):
+        limbs[i] = rng.integers(0, q, size=n, dtype=np.uint64)
+    # A fresh uniform sample is uniform in either domain; tag as requested.
+    return RnsPolynomial(basis, limbs, domain)

@@ -1,0 +1,108 @@
+"""Four-step NTT decomposition (Sec. 5.2, Fig. 8) — functional model.
+
+The hardware implements N-point NTTs (N up to 16K) as a composition of
+E=128-point NTTs using Bailey's four-step FFT.  Writing the input index as
+``i = i1 + n1*i2`` and the output index as ``k = k1*n2 + k2``:
+
+    X[k1*n2 + k2] = sum_{i1} omega^(i1*k2) * omega_{n1}^(i1*k1)
+                    * sum_{i2} a[i1 + n1*i2] * omega_{n2}^(i2*k2)
+
+    1. an n2-point NTT over i2 for each i1 (rows of the n1 x n2 matrix view),
+    2. an element-wise multiply by the twiddle omega^(i1*k2),
+    3. an n1-point NTT over i1 for each k2 (columns),
+    4. a transpose to stream the result out in natural order.
+
+The sub-NTTs must use omega_{n1} = omega^n2 and omega_{n2} = omega^n1 — powers
+of the *same* primitive N-th root — for the composition to be bit-exact with
+the direct transform.  The paper folds the negacyclic pre-/post-twist into the
+twiddle SRAM so forward and inverse negacyclic NTTs share one pipeline; we
+realize the same by folding the psi twist into the input/output (tests assert
+bit-exact agreement with :class:`repro.poly.ntt.NttContext`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.poly.ntt import cyclic_ntt_rows, get_context
+
+
+def _split(n: int) -> tuple[int, int]:
+    """Pick (n1, n2) with n1*n2 = N, both powers of two, near-square."""
+    log_n = n.bit_length() - 1
+    log_n1 = log_n // 2
+    return 1 << log_n1, 1 << (log_n - log_n1)
+
+
+def _twiddle_matrix(omega: int, n: int, n1: int, n2: int, q: int) -> np.ndarray:
+    i1 = np.arange(n1).reshape(n1, 1)
+    k2 = np.arange(n2).reshape(1, n2)
+    exps = (i1 * k2) % n
+    return _power_table(omega, n, q)[exps]
+
+
+def four_step_ntt(coeffs: np.ndarray, n: int, q: int) -> np.ndarray:
+    """Negacyclic forward NTT via the four-step decomposition.
+
+    Bit-exact with ``NttContext.forward`` (natural-order output).
+    """
+    ctx = get_context(n, q)
+    coeffs = np.asarray(coeffs, dtype=np.uint64)
+    qq = np.uint64(q)
+    # Negacyclic twist, folded into the first stage's twiddles in hardware.
+    twisted = (coeffs * ctx._psi_powers) % qq
+
+    n1, n2 = _split(n)
+    omega = ctx.omega
+    matrix = twisted.reshape(n2, n1).T.copy()  # [i1, i2]
+    # Step 1: n2-point NTT along rows with root omega^n1.
+    matrix = cyclic_ntt_rows(matrix, pow(omega, n1, q), q)
+    # Step 2: twiddle multiply omega^(i1*k2).
+    matrix = (matrix * _twiddle_matrix(omega, n, n1, n2, q)) % qq
+    # Step 3: n1-point NTT along columns with root omega^n2.
+    if n1 > 1:
+        matrix = cyclic_ntt_rows(matrix.T.copy(), pow(omega, n2, q), q).T
+    # Step 4: stream out; [k1, k2] row-major is exactly k = k1*n2 + k2.
+    return matrix.reshape(-1).copy()
+
+
+def four_step_intt(evals: np.ndarray, n: int, q: int) -> np.ndarray:
+    """Inverse negacyclic NTT via the four-step structure.
+
+    Bit-exact with ``NttContext.inverse``.
+    """
+    ctx = get_context(n, q)
+    evals = np.asarray(evals, dtype=np.uint64)
+    qq = np.uint64(q)
+    n1, n2 = _split(n)
+    omega_inv = pow(ctx.omega, -1, q)
+
+    matrix = evals.reshape(n1, n2).copy()  # [k1, k2]
+    # Invert step 3: inverse n1-point NTT along columns (root omega^-n2).
+    if n1 > 1:
+        matrix = cyclic_ntt_rows(matrix.T.copy(), pow(omega_inv, n2, q), q).T
+        matrix = (matrix * np.uint64(pow(n1, -1, q))) % qq
+    # Invert step 2: conjugate twiddles.
+    matrix = (matrix * _twiddle_matrix(omega_inv, n, n1, n2, q)) % qq
+    # Invert step 1: inverse n2-point NTT along rows (root omega^-n1).
+    matrix = cyclic_ntt_rows(matrix, pow(omega_inv, n1, q), q)
+    matrix = (matrix * np.uint64(pow(n2, -1, q))) % qq
+    # Back to flat coefficient order: [i2, i1] row-major is i = i1 + n1*i2.
+    twisted = matrix.T.reshape(-1)
+    return (twisted * ctx._psi_inv_powers) % qq
+
+
+_POWER_TABLES: dict[tuple[int, int, int], np.ndarray] = {}
+
+
+def _power_table(base: int, n: int, q: int) -> np.ndarray:
+    key = (base, n, q)
+    table = _POWER_TABLES.get(key)
+    if table is None:
+        table = np.empty(n, dtype=np.uint64)
+        acc = 1
+        for i in range(n):
+            table[i] = acc
+            acc = acc * base % q
+        _POWER_TABLES[key] = table
+    return table

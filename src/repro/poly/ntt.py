@@ -1,0 +1,184 @@
+"""Negacyclic Number-Theoretic Transform (Sec. 2.3, Sec. 5.2).
+
+Multiplication in R_q = Z_q[x]/(x^N + 1) is a *negacyclic* convolution.  With
+``psi`` a primitive 2N-th root of unity mod q (and ``omega = psi^2`` the N-th
+root), the negacyclic NTT
+
+    NTT(a)[j] = sum_i a_i * psi^(i*(2j+1))  mod q
+
+linearizes it: ``NTT(a*b) = NTT(a) ⊙ NTT(b)`` with no zero padding.  We
+implement it the standard way — premultiply coefficient i by ``psi^i``, then a
+cyclic radix-2 NTT — with every butterfly stage vectorized in numpy (uint64
+intermediates; products of <32-bit residues fit in 64 bits).
+
+Outputs are in natural order, so NTT-domain automorphisms are plain index
+permutations (see :mod:`repro.poly.automorphism`).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.rns.primes import primitive_root_of_unity
+
+
+class NttContext:
+    """Precomputed tables for length-N negacyclic NTTs modulo prime q."""
+
+    def __init__(self, n: int, q: int):
+        if n & (n - 1) or n < 2:
+            raise ValueError(f"N must be a power of two >= 2, got {n}")
+        if (q - 1) % (2 * n) != 0:
+            raise ValueError(f"q = {q} is not NTT-friendly for N = {n}")
+        self.n = n
+        self.q = q
+        self.psi = primitive_root_of_unity(2 * n, q)
+        self.omega = self.psi * self.psi % q
+        self.n_inv = pow(n, -1, q)
+        qq = np.uint64(q)
+        # psi^i and psi^-i for the negacyclic pre/post twist.
+        psi_powers = np.empty(n, dtype=np.uint64)
+        psi_inv_powers = np.empty(n, dtype=np.uint64)
+        psi_inv = pow(self.psi, -1, q)
+        acc_f, acc_i = 1, 1
+        for i in range(n):
+            psi_powers[i] = acc_f
+            psi_inv_powers[i] = acc_i
+            acc_f = acc_f * self.psi % q
+            acc_i = acc_i * psi_inv % q
+        self._psi_powers = psi_powers
+        self._psi_inv_powers = psi_inv_powers
+        self._q_u64 = qq
+        self._stage_twiddles = self._build_stage_twiddles(self.omega)
+        self._stage_twiddles_inv = self._build_stage_twiddles(pow(self.omega, -1, q))
+        self._bitrev = _bit_reverse_indices(n)
+
+    def _build_stage_twiddles(self, omega: int) -> list[np.ndarray]:
+        """Per-stage twiddle arrays for the iterative DIT cyclic NTT."""
+        n, q = self.n, self.q
+        tables = []
+        length = 2
+        while length <= n:
+            half = length // 2
+            w = pow(omega, n // length, q)
+            tw = np.empty(half, dtype=np.uint64)
+            acc = 1
+            for i in range(half):
+                tw[i] = acc
+                acc = acc * w % q
+            tables.append(tw)
+            length *= 2
+        return tables
+
+    def _cyclic_ntt(self, values: np.ndarray, tables: list[np.ndarray]) -> np.ndarray:
+        """In-place-style iterative DIT NTT; input natural, output natural order."""
+        q = self._q_u64
+        a = values[self._bitrev].astype(np.uint64, copy=True)
+        n = self.n
+        length = 2
+        for tw in tables:
+            half = length // 2
+            blocks = a.reshape(n // length, length)
+            lo = blocks[:, :half]
+            hi = blocks[:, half:]
+            t = (hi * tw) % q
+            new_hi = (lo + q - t) % q
+            new_lo = (lo + t) % q
+            blocks[:, :half] = new_lo
+            blocks[:, half:] = new_hi
+            length *= 2
+        return a
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Negacyclic NTT: coefficient domain -> evaluation (NTT) domain."""
+        coeffs = np.asarray(coeffs, dtype=np.uint64)
+        if coeffs.shape != (self.n,):
+            raise ValueError(f"expected shape ({self.n},), got {coeffs.shape}")
+        twisted = (coeffs * self._psi_powers) % self._q_u64
+        return self._cyclic_ntt(twisted, self._stage_twiddles)
+
+    def inverse(self, evals: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT: evaluation domain -> coefficient domain."""
+        evals = np.asarray(evals, dtype=np.uint64)
+        if evals.shape != (self.n,):
+            raise ValueError(f"expected shape ({self.n},), got {evals.shape}")
+        a = self._cyclic_ntt(evals, self._stage_twiddles_inv)
+        a = (a * np.uint64(self.n_inv)) % self._q_u64
+        return (a * self._psi_inv_powers) % self._q_u64
+
+    def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Polynomial product in R_q via NTT ⊙ NTT."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse((fa * fb) % self._q_u64)
+
+
+@lru_cache(maxsize=None)
+def get_context(n: int, q: int) -> NttContext:
+    """Shared, cached NTT context (tables are expensive to rebuild)."""
+    return NttContext(n, q)
+
+
+def _bit_reverse_indices(n: int) -> np.ndarray:
+    bits = n.bit_length() - 1
+    idx = np.arange(n)
+    rev = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        rev = (rev << 1) | (idx & 1)
+        idx >>= 1
+    return rev
+
+
+def cyclic_ntt_rows(matrix: np.ndarray, omega: int, q: int) -> np.ndarray:
+    """Cyclic NTT of each row of ``matrix`` with the given primitive root.
+
+    Used by the four-step decomposition, which needs sub-NTTs with *specific*
+    roots (powers of the full transform's root).  Iterative radix-2 DIT,
+    natural-order in and out, vectorized across rows.
+    """
+    matrix = np.asarray(matrix, dtype=np.uint64)
+    rows, n = matrix.shape
+    if n == 1:
+        return matrix.copy()
+    if pow(omega, n, q) != 1 or pow(omega, n // 2, q) != q - 1:
+        raise ValueError(f"omega is not a primitive {n}-th root mod {q}")
+    qq = np.uint64(q)
+    a = matrix[:, _bit_reverse_indices(n)].copy()
+    length = 2
+    while length <= n:
+        half = length // 2
+        w = pow(omega, n // length, q)
+        tw = np.empty(half, dtype=np.uint64)
+        acc = 1
+        for i in range(half):
+            tw[i] = acc
+            acc = acc * w % q
+        blocks = a.reshape(rows, n // length, length)
+        lo = blocks[:, :, :half]
+        hi = blocks[:, :, half:]
+        t = (hi * tw) % qq
+        blocks[:, :, half:] = (lo + qq - t) % qq
+        blocks[:, :, :half] = (lo + t) % qq
+        length *= 2
+    return a
+
+
+def naive_negacyclic_multiply(a, b, q: int) -> np.ndarray:
+    """O(N^2) schoolbook negacyclic convolution; the test oracle for the NTT."""
+    a = [int(x) % q for x in a]
+    b = [int(x) % q for x in b]
+    n = len(a)
+    out = [0] * n
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            k = i + j
+            term = ai * bj
+            if k < n:
+                out[k] = (out[k] + term) % q
+            else:
+                out[k - n] = (out[k - n] - term) % q
+    return np.array(out, dtype=np.uint64)

@@ -1,0 +1,158 @@
+"""RnsPolynomial: the value type FHE schemes compute on.
+
+A polynomial in R_Q, stored as an (L, N) uint64 array of residue polynomials
+("RVecs" in the paper, one per RNS limb), tagged with its domain: COEFF or
+NTT.  All homomorphic-operation math in :mod:`repro.fhe` is built from the
+element-wise and NTT/automorphism operations here — precisely the primitive
+set F1's functional units implement.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.poly.automorphism import automorphism_coeff, automorphism_ntt
+from repro.poly.ntt import get_context
+from repro.rns.crt import RnsBasis
+
+
+class Domain(enum.Enum):
+    COEFF = "coeff"
+    NTT = "ntt"
+
+
+class RnsPolynomial:
+    """An element of R_Q in RNS form.
+
+    Arithmetic requires matching bases and domains; use :meth:`to_ntt` /
+    :meth:`to_coeff` to convert.  Instances are mutated only through the
+    returned copies — operations are functional.
+    """
+
+    __slots__ = ("basis", "n", "limbs", "domain")
+
+    def __init__(self, basis: RnsBasis, limbs: np.ndarray, domain: Domain):
+        limbs = np.asarray(limbs, dtype=np.uint64)
+        if limbs.ndim != 2 or limbs.shape[0] != basis.level:
+            raise ValueError(
+                f"limbs shape {limbs.shape} does not match basis level {basis.level}"
+            )
+        self.basis = basis
+        self.n = limbs.shape[1]
+        self.limbs = limbs
+        self.domain = domain
+
+    # ---------------------------------------------------------------- factory
+    @classmethod
+    def zeros(cls, basis: RnsBasis, n: int, domain: Domain = Domain.COEFF) -> "RnsPolynomial":
+        return cls(basis, np.zeros((basis.level, n), dtype=np.uint64), domain)
+
+    @classmethod
+    def from_int_coeffs(cls, basis: RnsBasis, coeffs) -> "RnsPolynomial":
+        """Build from (possibly signed, possibly wide) integer coefficients."""
+        return cls(basis, basis.to_rns(coeffs), Domain.COEFF)
+
+    @classmethod
+    def random_uniform(cls, basis: RnsBasis, n: int, rng: np.random.Generator) -> "RnsPolynomial":
+        """Uniform element of R_Q (sampled consistently across limbs via CRT)."""
+        wide = [int.from_bytes(rng.bytes(16), "little") % basis.modulus for _ in range(n)]
+        return cls.from_int_coeffs(basis, wide)
+
+    # ------------------------------------------------------------ conversions
+    def to_ntt(self) -> "RnsPolynomial":
+        if self.domain is Domain.NTT:
+            return self
+        out = np.empty_like(self.limbs)
+        for i, q in enumerate(self.basis.moduli):
+            out[i] = get_context(self.n, q).forward(self.limbs[i])
+        return RnsPolynomial(self.basis, out, Domain.NTT)
+
+    def to_coeff(self) -> "RnsPolynomial":
+        if self.domain is Domain.COEFF:
+            return self
+        out = np.empty_like(self.limbs)
+        for i, q in enumerate(self.basis.moduli):
+            out[i] = get_context(self.n, q).inverse(self.limbs[i])
+        return RnsPolynomial(self.basis, out, Domain.COEFF)
+
+    def to_int_coeffs(self, *, centered: bool = True) -> list[int]:
+        """CRT-reconstruct the wide integer coefficients (coefficient domain)."""
+        return self.basis.from_rns(self.to_coeff().limbs, centered=centered)
+
+    # ------------------------------------------------------------- arithmetic
+    def _check_compatible(self, other: "RnsPolynomial", op: str) -> None:
+        if self.basis != other.basis:
+            raise ValueError(f"{op}: RNS bases differ")
+        if self.domain is not other.domain:
+            raise ValueError(f"{op}: domains differ ({self.domain} vs {other.domain})")
+
+    def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_compatible(other, "add")
+        out = np.empty_like(self.limbs)
+        for i, q in enumerate(self.basis.moduli):
+            out[i] = (self.limbs[i] + other.limbs[i]) % np.uint64(q)
+        return RnsPolynomial(self.basis, out, self.domain)
+
+    def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_compatible(other, "sub")
+        out = np.empty_like(self.limbs)
+        for i, q in enumerate(self.basis.moduli):
+            qq = np.uint64(q)
+            out[i] = (self.limbs[i] + qq - other.limbs[i] % qq) % qq
+        return RnsPolynomial(self.basis, out, self.domain)
+
+    def __neg__(self) -> "RnsPolynomial":
+        out = np.empty_like(self.limbs)
+        for i, q in enumerate(self.basis.moduli):
+            qq = np.uint64(q)
+            out[i] = (qq - self.limbs[i]) % qq
+        return RnsPolynomial(self.basis, out, self.domain)
+
+    def __mul__(self, other) -> "RnsPolynomial":
+        if isinstance(other, int):
+            return self.scalar_mul(other)
+        self._check_compatible(other, "mul")
+        if self.domain is not Domain.NTT:
+            raise ValueError("polynomial multiply requires NTT domain; call to_ntt()")
+        out = np.empty_like(self.limbs)
+        for i, q in enumerate(self.basis.moduli):
+            out[i] = (self.limbs[i] * other.limbs[i]) % np.uint64(q)
+        return RnsPolynomial(self.basis, out, Domain.NTT)
+
+    __rmul__ = __mul__
+
+    def scalar_mul(self, scalar: int) -> "RnsPolynomial":
+        out = np.empty_like(self.limbs)
+        for i, q in enumerate(self.basis.moduli):
+            out[i] = (self.limbs[i] * np.uint64(scalar % q)) % np.uint64(q)
+        return RnsPolynomial(self.basis, out, self.domain)
+
+    def automorphism(self, k: int) -> "RnsPolynomial":
+        """Apply sigma_k in the current domain (permutation either way)."""
+        out = np.empty_like(self.limbs)
+        if self.domain is Domain.COEFF:
+            for i, q in enumerate(self.basis.moduli):
+                out[i] = automorphism_coeff(self.limbs[i], k, q)
+        else:
+            for i in range(self.basis.level):
+                out[i] = automorphism_ntt(self.limbs[i], k)
+        return RnsPolynomial(self.basis, out, self.domain)
+
+    # ---------------------------------------------------------- basis surgery
+    def drop_limb(self) -> "RnsPolynomial":
+        """Discard the last RNS limb (raw truncation, *not* modulus switching —
+        the schemes implement proper rounding on top of this)."""
+        return RnsPolynomial(self.basis.drop(), self.limbs[:-1].copy(), self.domain)
+
+    def limb(self, i: int) -> np.ndarray:
+        return self.limbs[i]
+
+    def copy(self) -> "RnsPolynomial":
+        return RnsPolynomial(self.basis, self.limbs.copy(), self.domain)
+
+    def __repr__(self) -> str:
+        return (
+            f"RnsPolynomial(N={self.n}, L={self.basis.level}, domain={self.domain.value})"
+        )

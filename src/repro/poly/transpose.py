@@ -1,0 +1,65 @@
+"""Quadrant-swap transpose unit (Sec. 5.1, Fig. 7) — functional model.
+
+The hardware transposes an E×E matrix streamed E elements per cycle by
+recursively swapping quadrants:
+
+    [[A, B],      [[A^T, C^T],
+     [C, D]]^T  =  [B^T, D^T]]
+
+This module implements exactly that recursion (`quadrant_swap_transpose`) so
+tests can check it against ``numpy.transpose``, plus the G×E (G ≤ E) variant
+used for residue polynomials where ``N = G*E < E*E`` — the hardware handles
+those by bypassing the outer quadrant swaps (Fig. 7 right).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _swap_quadrants(m: np.ndarray) -> np.ndarray:
+    """One quadrant-swap step: exchange the off-diagonal quadrants B and C."""
+    k = m.shape[0] // 2
+    out = m.copy()
+    out[:k, k:], out[k:, :k] = m[k:, :k].copy(), m[:k, k:].copy()
+    return out
+
+
+def quadrant_swap_transpose(matrix: np.ndarray) -> np.ndarray:
+    """Transpose a square power-of-two matrix via recursive quadrant swaps."""
+    matrix = np.asarray(matrix)
+    rows, cols = matrix.shape
+    if rows != cols or rows & (rows - 1):
+        raise ValueError(f"need a square power-of-two matrix, got {matrix.shape}")
+    if rows == 1:
+        return matrix.copy()
+    swapped = _swap_quadrants(matrix)
+    k = rows // 2
+    out = np.empty_like(swapped)
+    out[:k, :k] = quadrant_swap_transpose(swapped[:k, :k])
+    out[:k, k:] = quadrant_swap_transpose(swapped[:k, k:])
+    out[k:, :k] = quadrant_swap_transpose(swapped[k:, :k])
+    out[k:, k:] = quadrant_swap_transpose(swapped[k:, k:])
+    return out
+
+
+def transpose_chunked(values: np.ndarray, e: int) -> np.ndarray:
+    """Transpose a G×E-shaped residue polynomial as the hardware does.
+
+    ``values`` is a flat length-N array interpreted as G rows of E elements
+    (G = N / E, power of two, G ≤ E).  Returns the flat E×G transpose.  For
+    G < E the hardware bypasses the initial quadrant swaps; functionally this
+    is a plain reshape-transpose, which we verify against the square
+    quadrant-swap path when G == E.
+    """
+    values = np.asarray(values)
+    n = values.shape[0]
+    if n % e:
+        raise ValueError(f"N={n} not divisible by E={e}")
+    g = n // e
+    if g > e:
+        raise ValueError(f"G={g} exceeds E={e}; hardware supports G <= E")
+    matrix = values.reshape(g, e)
+    if g == e:
+        return quadrant_swap_transpose(matrix).reshape(-1)
+    return matrix.T.reshape(-1)

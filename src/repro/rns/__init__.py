@@ -1,0 +1,43 @@
+"""Residue Number System (RNS) substrate.
+
+FHE needs very wide ciphertext moduli (hundreds of bits).  F1 sidesteps wide
+arithmetic by representing the modulus :math:`Q = q_1 q_2 \\cdots q_L` as a
+product of distinct word-sized NTT-friendly primes and operating limb-wise
+(Sec. 2.3 of the paper).  This package provides:
+
+- prime generation (:mod:`repro.rns.primes`): NTT-friendly and the stricter
+  *FHE-friendly* primes of Sec. 5.3 that simplify the hardware multiplier;
+- CRT reconstruction and RNS basis utilities (:mod:`repro.rns.crt`);
+- functional models of the hardware modular-multiplier designs compared in
+  Table 1 (:mod:`repro.rns.multipliers`), with an area/power/delay model.
+"""
+
+from repro.rns.primes import (
+    fhe_friendly_primes,
+    is_prime,
+    ntt_friendly_primes,
+    primitive_root_of_unity,
+)
+from repro.rns.crt import RnsBasis
+from repro.rns.multipliers import (
+    BarrettMultiplier,
+    FheFriendlyMultiplier,
+    MontgomeryMultiplier,
+    MultiplierCost,
+    NttFriendlyMultiplier,
+    multiplier_comparison_table,
+)
+
+__all__ = [
+    "fhe_friendly_primes",
+    "is_prime",
+    "ntt_friendly_primes",
+    "primitive_root_of_unity",
+    "RnsBasis",
+    "BarrettMultiplier",
+    "FheFriendlyMultiplier",
+    "MontgomeryMultiplier",
+    "MultiplierCost",
+    "NttFriendlyMultiplier",
+    "multiplier_comparison_table",
+]

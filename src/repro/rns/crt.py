@@ -1,0 +1,105 @@
+"""Chinese-Remainder-Theorem utilities for RNS bases.
+
+An :class:`RnsBasis` captures an ordered tuple of distinct primes
+``(q_1, ..., q_L)`` whose product is the ciphertext modulus ``Q``.  Modulus
+switching drops the last prime, so bases form a chain; :meth:`RnsBasis.drop`
+returns the next basis in the chain.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache, reduce
+
+import numpy as np
+
+
+class RnsBasis:
+    """An ordered RNS basis ``(q_1, ..., q_L)`` with CRT helpers.
+
+    The basis is immutable and hashable so ciphertexts and key material can key
+    caches off it.
+    """
+
+    __slots__ = ("moduli", "_modulus")
+
+    def __init__(self, moduli: tuple[int, ...] | list[int]):
+        moduli = tuple(int(q) for q in moduli)
+        if not moduli:
+            raise ValueError("RNS basis needs at least one modulus")
+        if len(set(moduli)) != len(moduli):
+            raise ValueError("RNS moduli must be distinct")
+        self.moduli = moduli
+        self._modulus = reduce(lambda a, b: a * b, moduli, 1)
+
+    @property
+    def level(self) -> int:
+        """Number of limbs L."""
+        return len(self.moduli)
+
+    @property
+    def modulus(self) -> int:
+        """The wide modulus ``Q`` as a Python integer."""
+        return self._modulus
+
+    def drop(self, count: int = 1) -> "RnsBasis":
+        """Basis after modulus-switching away the last ``count`` primes."""
+        if count >= self.level:
+            raise ValueError("cannot drop all RNS limbs")
+        return RnsBasis(self.moduli[: self.level - count])
+
+    def crt_weights(self) -> list[tuple[int, int]]:
+        """CRT interpolation data: ``(Q/q_i, (Q/q_i)^{-1} mod q_i)`` per limb."""
+        return _crt_weights(self.moduli)
+
+    def to_rns(self, coeffs) -> np.ndarray:
+        """Reduce integer coefficients (array or list of Python ints) limb-wise.
+
+        Returns an ``(L, N)`` uint64 array.
+        """
+        values = [int(c) % self._modulus for c in coeffs]
+        return np.array(
+            [[v % q for v in values] for q in self.moduli], dtype=np.uint64
+        )
+
+    def from_rns(self, limbs: np.ndarray, *, centered: bool = False) -> list[int]:
+        """CRT-reconstruct wide integer coefficients from an ``(L, N)`` array.
+
+        With ``centered=True`` results lie in ``(-Q/2, Q/2]``, which is what
+        decryption needs to recover signed noise terms.
+        """
+        if limbs.shape[0] != self.level:
+            raise ValueError(
+                f"expected {self.level} limbs, got {limbs.shape[0]}"
+            )
+        weights = self.crt_weights()
+        big_q = self._modulus
+        out: list[int] = []
+        for j in range(limbs.shape[1]):
+            acc = 0
+            for i, (q_over, q_over_inv) in enumerate(weights):
+                residue = int(limbs[i, j])
+                acc += q_over * ((residue * q_over_inv) % self.moduli[i])
+            acc %= big_q
+            if centered and acc > big_q // 2:
+                acc -= big_q
+            out.append(acc)
+        return out
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RnsBasis) and self.moduli == other.moduli
+
+    def __hash__(self) -> int:
+        return hash(self.moduli)
+
+    def __repr__(self) -> str:
+        return f"RnsBasis(L={self.level}, logQ≈{self._modulus.bit_length()})"
+
+
+@lru_cache(maxsize=None)
+def _crt_weights(moduli: tuple[int, ...]) -> list[tuple[int, int]]:
+    big_q = reduce(lambda a, b: a * b, moduli, 1)
+    weights = []
+    for q in moduli:
+        q_over = big_q // q
+        weights.append((q_over, pow(q_over % q, -1, q)))
+    return weights

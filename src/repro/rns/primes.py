@@ -1,0 +1,118 @@
+"""NTT-friendly prime generation.
+
+A negacyclic NTT of length ``N`` over ``Z_q`` requires a primitive ``2N``-th
+root of unity, i.e. ``q ≡ 1 (mod 2N)``.
+
+Sec. 5.3 of the paper further restricts moduli so that one multiplier stage of
+the Montgomery reduction disappears: with radix :math:`2^{16}`, the Montgomery
+constant is :math:`q' = -q^{-1} \\bmod 2^{16}`; choosing ``q ≡ 1 (mod 2^16)``
+makes ``q' = 2^16 - 1`` ("−1"), so the multiply by ``q'`` becomes a negation.
+Such *FHE-friendly* primes are automatically NTT-friendly for every power-of-2
+``N ≤ 2^15``, and the paper counts 6,186 of them among 32-bit primes (a count
+``count_fhe_friendly_32bit`` reproduces).
+"""
+
+from __future__ import annotations
+
+import random
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin primality test for 64-bit integers."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    # These witnesses are deterministic for n < 3.3 * 10^24.
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x == 1 or x == n - 1:
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def ntt_friendly_primes(n: int, bits: int, count: int, *, seed: int | None = None) -> list[int]:
+    """Return ``count`` distinct primes ``q ≡ 1 (mod 2n)`` of roughly ``bits`` bits.
+
+    Primes are scanned downward from ``2^bits`` so results are deterministic
+    for a given (n, bits) unless ``seed`` is given, in which case the starting
+    point is randomized (matching the paper's note that moduli are sampled
+    randomly in the functional simulator).
+    """
+    if n & (n - 1):
+        raise ValueError(f"n must be a power of two, got {n}")
+    modulus_step = 2 * n
+    start = (1 << bits) - 1
+    if seed is not None:
+        rng = random.Random(seed)
+        start -= rng.randrange(0, 1 << (bits - 4))
+    candidate = start - (start % modulus_step) + 1
+    if candidate > start:
+        candidate -= modulus_step
+    primes: list[int] = []
+    while len(primes) < count:
+        if candidate < (1 << (bits - 1)):
+            raise ValueError(
+                f"not enough {bits}-bit primes ≡ 1 mod {modulus_step} (found {len(primes)})"
+            )
+        if is_prime(candidate):
+            primes.append(candidate)
+        candidate -= modulus_step
+    return primes
+
+
+def fhe_friendly_primes(n: int, bits: int, count: int) -> list[int]:
+    """Primes satisfying the Sec. 5.3 restriction ``q ≡ 1 (mod 2^16)``.
+
+    These are usable with the simplified FHE-friendly modular multiplier and
+    are NTT-friendly for all ``N ≤ 2^15``.  Requires ``bits > 16``.
+    """
+    if bits <= 16:
+        raise ValueError("FHE-friendly primes need more than 16 bits")
+    step = max(2 * n, 1 << 16)
+    candidate = (1 << bits) - step + 1
+    primes: list[int] = []
+    while len(primes) < count:
+        if candidate < (1 << (bits - 1)):
+            raise ValueError(f"not enough FHE-friendly {bits}-bit primes")
+        if is_prime(candidate):
+            primes.append(candidate)
+        candidate -= step
+    return primes
+
+
+def count_fhe_friendly_32bit() -> int:
+    """Count 32-bit primes ``q ≡ 1 (mod 2^16)`` (paper: "6,186 prime moduli")."""
+    return sum(
+        1
+        for k in range(1 << 16, 1 << 32, 1 << 16)
+        if is_prime(k + 1)
+    )
+
+
+def primitive_root_of_unity(order: int, q: int) -> int:
+    """Find a primitive ``order``-th root of unity modulo prime ``q``."""
+    if (q - 1) % order != 0:
+        raise ValueError(f"{order} does not divide q-1 = {q - 1}")
+    cofactor = (q - 1) // order
+    # The multiplicative group is cyclic of order q-1; g^cofactor generates the
+    # order-`order` subgroup whenever g is a generator.  Scan small candidates.
+    for g in range(2, q):
+        root = pow(g, cofactor, q)
+        if pow(root, order // 2, q) == q - 1:
+            return root
+    raise ValueError(f"no primitive root of order {order} mod {q}")

@@ -1,0 +1,24 @@
+"""Cycle-accurate simulation and statistics (Sec. 7, Sec. 8.2, Sec. 8.5).
+
+- :mod:`repro.sim.simulator`: the checker — replays the static schedule and
+  verifies latencies, dependences, structural hazards, bandwidth, and
+  scratchpad capacity, exactly in the spirit of the paper's simulator
+  ("acts more as a checker").
+- :mod:`repro.sim.stats`: utilization timelines (Fig. 10), power breakdowns
+  (Fig. 9b) from the energy model, and traffic summaries (Fig. 9a).
+- :mod:`repro.sim.functional`: executes a DSL program with the *real* FHE
+  math from :mod:`repro.fhe` (the Sec. 8.5 functional simulator), verifying
+  input-output correctness of compiled programs.
+"""
+
+from repro.sim.simulator import CheckReport, check_schedule
+from repro.sim.stats import power_breakdown, utilization_timeline
+from repro.sim.functional import FunctionalSimulator
+
+__all__ = [
+    "CheckReport",
+    "check_schedule",
+    "power_breakdown",
+    "utilization_timeline",
+    "FunctionalSimulator",
+]

@@ -1,0 +1,155 @@
+"""Schedule checker: forward-simulates a static schedule and validates it.
+
+Matching Sec. 4.4 ("after the final schedule is generated, we validate it by
+simulating it forward to ensure that no clobbers or resource usage violations
+occur") and Sec. 7 (the cycle-accurate simulator "acts more as a checker: it
+runs the instruction stream at each component and verifies that latencies are
+as expected and there are no missed dependences or structural hazards").
+
+Checks performed, independently of the scheduler's own bookkeeping:
+
+1. **Dependences**: every instruction starts no earlier than (a) each
+   operand's producing instruction's completion plus the network transfer, or
+   (b) the operand's load completion if it came from off-chip.
+2. **Structural hazards**: per (cluster, FU, unit), issue slots are spaced by
+   at least the occupancy.
+3. **HBM bandwidth**: in no window does scheduled traffic exceed capacity
+   (verified by serialization: transfer intervals on the aggregate channel
+   must not overlap).
+4. **Scratchpad capacity**: replaying the phase-2 event list never exceeds
+   the slot count, and no value is used while not resident (clobber check).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.compiler.cycle_scheduler import CycleSchedule
+from repro.compiler.data_scheduler import DataMovementSchedule
+from repro.core.config import F1Config
+from repro.core.isa import InstructionGraph
+
+
+@dataclass
+class CheckReport:
+    ok: bool
+    violations: list[str] = field(default_factory=list)
+    instructions_checked: int = 0
+    transfers_checked: int = 0
+    peak_resident_rvecs: int = 0
+
+    def raise_if_failed(self) -> None:
+        if not self.ok:
+            raise AssertionError(
+                "schedule validation failed:\n" + "\n".join(self.violations[:20])
+            )
+
+
+def check_schedule(
+    graph: InstructionGraph,
+    movement: DataMovementSchedule,
+    schedule: CycleSchedule,
+    config: F1Config | None = None,
+) -> CheckReport:
+    config = config or schedule.config
+    violations: list[str] = []
+    instrs_by_id = {s.instr_id: s for s in schedule.instrs}
+    transfer = config.transfer_cycles(graph.n)
+
+    # --- 1. dependences -----------------------------------------------------
+    ready_at: dict[int, float] = {}
+    for tr in schedule.transfers:
+        if tr.kind == "load":
+            # A value may be loaded several times (spill/refill); its first
+            # availability is the earliest load completion.
+            prev = ready_at.get(tr.value_id)
+            ready_at[tr.value_id] = tr.end if prev is None else min(prev, tr.end)
+    # Producer completions (later loads may refresh spilled values, but a
+    # value is ready at min(load end, producer end) whichever applies first;
+    # we take producer end as authoritative for first use).
+    for s in schedule.instrs:
+        instr = graph.instructions[s.instr_id]
+        ready_at.setdefault(instr.output, s.end)
+        ready_at[instr.output] = min(ready_at.get(instr.output, s.end), s.end)
+
+    for s in schedule.instrs:
+        instr = graph.instructions[s.instr_id]
+        for vid in instr.inputs:
+            producer = graph.values[vid].producer
+            if producer is not None and producer in instrs_by_id:
+                avail = instrs_by_id[producer].end
+            else:
+                avail = ready_at.get(vid)
+                if avail is None:
+                    violations.append(
+                        f"instr {s.instr_id}: operand {vid} never made available"
+                    )
+                    continue
+            if s.start + 1e-9 < avail:
+                violations.append(
+                    f"instr {s.instr_id} starts at {s.start} before operand "
+                    f"{vid} is ready at {avail}"
+                )
+
+    # --- 2. structural hazards ----------------------------------------------
+    by_unit: dict[tuple[str, int, int], list] = defaultdict(list)
+    for s in schedule.instrs:
+        by_unit[(s.fu, s.cluster, s.unit)].append(s)
+    for key, items in by_unit.items():
+        items.sort(key=lambda s: s.start)
+        for prev, cur in zip(items, items[1:]):
+            if cur.start < prev.start + prev.occupancy:
+                violations.append(
+                    f"unit {key}: instr {cur.instr_id} issues at {cur.start} "
+                    f"inside occupancy of {prev.instr_id} "
+                    f"({prev.start}+{prev.occupancy})"
+                )
+
+    # --- 3. HBM bandwidth ----------------------------------------------------
+    intervals = sorted(
+        (tr.start, tr.start + config.load_cycles(graph.n))
+        for tr in schedule.transfers
+    )
+    for (s0, e0), (s1, _e1) in zip(intervals, intervals[1:]):
+        if s1 + 1e-6 < e0:
+            violations.append(
+                f"HBM oversubscribed: transfer at {s1} overlaps one ending {e0}"
+            )
+
+    # --- 4. scratchpad capacity & clobbers -----------------------------------
+    peak = 0
+    resident: set[int] = set()
+    users_left = {v.value_id: len(v.users) for v in graph.values}
+    for event in movement.events:
+        if event.kind == "load":
+            resident.add(event.target)
+        elif event.kind in ("evict", "store"):
+            resident.discard(event.target)
+        elif event.kind == "exec":
+            instr = graph.instructions[event.target]
+            for vid in instr.inputs:
+                if vid not in resident:
+                    violations.append(
+                        f"clobber: instr {event.target} reads non-resident {vid}"
+                    )
+            resident.add(instr.output)
+            for vid in set(instr.inputs):
+                users_left[vid] -= instr.inputs.count(vid)
+                if users_left[vid] <= 0 and vid not in movement.outputs:
+                    resident.discard(vid)
+        peak = max(peak, len(resident))
+        if len(resident) > movement.capacity_rvecs:
+            violations.append(
+                f"scratchpad capacity exceeded: {len(resident)} resident "
+                f"> {movement.capacity_rvecs}"
+            )
+            break
+
+    return CheckReport(
+        ok=not violations,
+        violations=violations,
+        instructions_checked=len(schedule.instrs),
+        transfers_checked=len(schedule.transfers),
+        peak_resident_rvecs=peak,
+    )

@@ -1,0 +1,114 @@
+"""Architecture model: config math, Table-2 area, energy (repro.core.*)."""
+
+import pytest
+
+from repro.core.area import area_mm2, area_report, tdp_w
+from repro.core.config import F1Config
+from repro.core.energy import EnergyModel
+
+
+class TestConfigDerived:
+    def test_rvec_bytes(self):
+        assert F1Config().rvec_bytes(16384) == 64 * 1024  # 64 KB (Sec. 2.4)
+
+    def test_chunks(self):
+        cfg = F1Config()
+        assert cfg.chunks(16384) == 128
+        assert cfg.chunks(1024) == 8
+        assert cfg.chunks(64) == 1
+
+    def test_scratchpad_capacity_paper_claim(self):
+        """Sec. 4: 'our scratchpad stores at least 1024 residue vectors'."""
+        assert F1Config().scratchpad_capacity_rvecs(16384) == 1024
+
+    def test_hbm_bandwidth(self):
+        assert F1Config().hbm_bytes_per_cycle() == 1024  # 1 TB/s at 1 GHz
+
+    def test_load_cycles(self):
+        assert F1Config().load_cycles(16384) == 64.0
+
+    def test_transfer_matches_consumption_rate(self):
+        """512 B ports stream a vector at the FU consumption rate: G cycles."""
+        cfg = F1Config()
+        assert cfg.transfer_cycles(16384) == cfg.chunks(16384)
+
+    def test_occupancy_full_throughput(self):
+        cfg = F1Config()
+        for fu in ("ntt", "aut", "mul", "add"):
+            assert cfg.fu_occupancy(fu, 16384) == 128
+
+    def test_latency_exceeds_occupancy(self):
+        cfg = F1Config()
+        for kind in ("ntt", "intt", "aut", "mul", "add"):
+            assert cfg.fu_latency(kind, 16384) >= cfg.fu_occupancy(
+                "ntt" if kind == "intt" else kind, 16384
+            )
+
+    def test_fu_count(self):
+        cfg = F1Config()
+        assert cfg.fu_count("ntt") == 16
+        assert cfg.fu_count("mul") == 32
+
+    def test_unknown_fu_rejected(self):
+        with pytest.raises(ValueError):
+            F1Config().fu_occupancy("fft", 1024)
+
+
+class TestVariants:
+    def test_low_throughput_ntt_preserves_aggregate(self):
+        cfg = F1Config()
+        lt = cfg.with_low_throughput_ntt()
+        base_throughput = cfg.ntt.count / cfg.ntt.throughput_div
+        lt_throughput = lt.ntt.count / lt.ntt.throughput_div
+        assert base_throughput == lt_throughput
+        assert lt.fu_occupancy("ntt", 16384) == 128 * 7
+
+    def test_low_throughput_aut_preserves_aggregate(self):
+        cfg = F1Config()
+        lt = cfg.with_low_throughput_aut()
+        assert lt.aut.count / lt.aut.throughput_div == cfg.aut.count
+
+    def test_scaled_config(self):
+        small = F1Config().scaled(clusters=8, banks=8, phys=1)
+        assert small.clusters == 8
+        assert small.scratchpad_mb == 32
+        assert small.hbm_phys == 1
+
+
+class TestAreaModel:
+    def test_table2_total_area(self):
+        """Table 2: total F1 area 151.4 mm^2."""
+        assert area_mm2(F1Config()) == pytest.approx(151.4, abs=0.5)
+
+    def test_table2_total_tdp(self):
+        """Table 2: TDP 180.4 W."""
+        assert tdp_w(F1Config()) == pytest.approx(180.4, abs=1.0)
+
+    def test_table2_component_rows(self):
+        report = area_report()
+        assert report["Compute cluster"]["area_mm2"] == pytest.approx(3.97, abs=0.05)
+        assert report["Total compute"]["area_mm2"] == pytest.approx(63.52, abs=0.5)
+        assert report["Scratchpad"]["area_mm2"] == pytest.approx(48.09, abs=0.1)
+        assert report["Memory interface"]["area_mm2"] == pytest.approx(29.80, abs=0.1)
+
+    def test_area_scales_down_with_clusters(self):
+        assert area_mm2(F1Config().scaled(clusters=8)) < area_mm2(F1Config())
+
+    def test_fus_are_42_percent(self):
+        """Sec. 6: 'FUs take 42% of the area'."""
+        report = area_report()
+        frac = report["Total compute"]["area_mm2"] / report["Total F1"]["area_mm2"]
+        assert frac == pytest.approx(0.42, abs=0.02)
+
+
+class TestEnergyModel:
+    def test_positive_and_finite(self):
+        e = EnergyModel.from_config(F1Config())
+        assert all(v > 0 for v in e.fu_busy_nj_per_cycle.values())
+        assert e.hbm_nj_per_byte > 0
+        assert e.noc_nj_per_byte > 0
+
+    def test_ntt_fu_costliest(self):
+        e = EnergyModel.from_config(F1Config())
+        fu = e.fu_busy_nj_per_cycle
+        assert fu["ntt"] > fu["aut"] > fu["mul"] > fu["add"]

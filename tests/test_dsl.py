@@ -1,0 +1,113 @@
+"""DSL program builder (repro.dsl.program)."""
+
+import pytest
+
+from repro.dsl.program import OpKind, Program
+
+
+def test_listing2_matrix_vector():
+    """The paper's running example builds and reports sensible stats."""
+    p = Program(n=1024, name="matvec")
+    rows = [p.input(level=4) for _ in range(4)]
+    v = p.input(level=4)
+    for r in rows:
+        p.output(p.inner_sum(p.mul(r, v)))
+    stats = p.stats()
+    assert stats["counts"]["mul"] == 4
+    assert stats["counts"]["rotate"] == 4 * 10  # log2(1024) rotations each
+    assert stats["multiplicative_depth"] == 1
+    # One relin hint + one hint per distinct rotation amount.
+    assert stats["distinct_hints"] == 1 + 10
+
+
+class TestLevels:
+    def test_mul_auto_rescales(self):
+        p = Program(n=64)
+        x, y = p.input(3), p.input(3)
+        assert p.mul(x, y).level == 2
+
+    def test_mul_without_rescale(self):
+        p = Program(n=64)
+        x, y = p.input(3), p.input(3)
+        assert p.mul(x, y, rescale=False).level == 3
+
+    def test_align_inserts_mod_switch(self):
+        p = Program(n=64)
+        x, y = p.input(4), p.input(2)
+        out = p.add(x, y)
+        assert out.level == 2
+        assert sum(1 for op in p.ops if op.kind is OpKind.MOD_SWITCH) == 2
+
+    def test_mod_switch_floor(self):
+        p = Program(n=64)
+        x = p.input(1)
+        with pytest.raises(ValueError):
+            p.mod_switch(x)
+
+    def test_mul_at_level_one_not_rescaled(self):
+        p = Program(n=64)
+        x = p.input(1)
+        assert p.mul(x, x).level == 1
+
+
+class TestHints:
+    def test_mul_hint_per_level(self):
+        p = Program(n=64)
+        x, y = p.input(3), p.input(3)
+        m = p.mul(x, y)
+        assert p.ops[m.op_id - 1].hint_id == "relin@L3"
+
+    def test_rotate_hint_per_amount_and_level(self):
+        p = Program(n=64)
+        x = p.input(3)
+        r1 = p.rotate(x, 1)
+        r2 = p.rotate(x, 2)
+        assert p.ops[r1.op_id].hint_id == "galois_1@L3"
+        assert p.ops[r2.op_id].hint_id == "galois_2@L3"
+
+    def test_hint_free_ops(self):
+        p = Program(n=64)
+        x = p.input(2)
+        assert p.ops[p.add(x, x).op_id].hint_id is None
+        assert p.ops[p.mul_plain(x).op_id].hint_id is None
+
+
+class TestStructure:
+    def test_rotate_zero_is_noop(self):
+        p = Program(n=64)
+        x = p.input(2)
+        assert p.rotate(x, 0) is x
+
+    def test_users_tracked(self):
+        p = Program(n=64)
+        x, y = p.input(2), p.input(2)
+        s = p.add(x, y)
+        assert s.op_id in p.ops[x.op_id].users
+        assert s.op_id in p.ops[y.op_id].users
+
+    def test_invalid_scheme(self):
+        with pytest.raises(ValueError):
+            Program(n=64, scheme="tfhe")
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            Program(n=100)
+
+    def test_invalid_level(self):
+        p = Program(n=64)
+        with pytest.raises(ValueError):
+            p.input(0)
+
+    def test_depth_tracking(self):
+        p = Program(n=64)
+        x = p.input(5)
+        y = p.mul(p.mul(x, x), x)
+        assert p.multiplicative_depth() == 2
+
+    def test_square_is_self_mul(self):
+        p = Program(n=64)
+        x = p.input(3)
+        sq = p.square(x, rescale=False)
+        op = p.ops[sq.op_id]
+        assert op.kind is OpKind.MUL
+        assert op.args == (x.op_id, x.op_id)

@@ -1,0 +1,93 @@
+"""Plaintext encoders (repro.fhe.encoding)."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.bgv import BgvContext
+from repro.fhe.encoding import BatchEncoder, CkksEncoder
+from repro.fhe.params import FheParams
+
+N = 256
+T_BATCH = 12289  # prime, 12289 ≡ 1 (mod 512)
+
+
+@pytest.fixture(scope="module")
+def batch():
+    return BatchEncoder(N, T_BATCH)
+
+
+class TestBatchEncoder:
+    def test_roundtrip(self, batch):
+        rng = np.random.default_rng(3)
+        vals = rng.integers(0, T_BATCH, N)
+        assert np.array_equal(batch.decode(batch.encode(vals)), vals)
+
+    def test_short_input_padded(self, batch):
+        out = batch.decode(batch.encode([5, 6]))
+        assert out[0] == 5 and out[1] == 6
+
+    def test_slotwise_addition(self, batch):
+        """Adding encodings adds slots — the SIMD property."""
+        rng = np.random.default_rng(4)
+        a, b = rng.integers(0, T_BATCH, N), rng.integers(0, T_BATCH, N)
+        summed = (batch.encode(a) + batch.encode(b)) % T_BATCH
+        assert np.array_equal(batch.decode(summed), (a + b) % T_BATCH)
+
+    def test_requires_splitting_prime(self):
+        with pytest.raises(ValueError):
+            BatchEncoder(N, 257)  # 257 not ≡ 1 mod 512
+
+    def test_homomorphic_slot_rotation(self):
+        """decrypt(sigma_3(ct)) decodes to the rotated hypercolumns."""
+        params = FheParams.build(n=N, levels=3, prime_bits=28,
+                                 plaintext_modulus=T_BATCH)
+        ctx = BgvContext(params, seed=13)
+        be = BatchEncoder(N, T_BATCH)
+        rng = np.random.default_rng(5)
+        vals = rng.integers(0, T_BATCH, N)
+        ct = ctx.encrypt(be.encode(vals))
+        rotated = be.decode(ctx.decrypt(ctx.rotate(ct, 1)))
+        assert np.array_equal(rotated, be.rotated(vals, 1))
+
+    def test_rotated_reference_semantics(self, batch):
+        vals = np.arange(N)
+        rot = batch.rotated(vals, 2)
+        half = N // 2
+        assert np.array_equal(rot[:half], np.roll(vals[:half], -2))
+        assert np.array_equal(rot[half:], np.roll(vals[half:], -2))
+
+
+class TestCkksEncoder:
+    def test_roundtrip_precision(self):
+        enc = CkksEncoder(N, scale=2.0**30)
+        rng = np.random.default_rng(6)
+        z = rng.normal(size=N // 2) + 1j * rng.normal(size=N // 2)
+        back = enc.decode(enc.encode(z))
+        assert np.max(np.abs(back - z)) < 1e-6
+
+    def test_encoding_is_real_integers(self):
+        enc = CkksEncoder(N, scale=2.0**20)
+        coeffs = enc.encode(np.ones(N // 2))
+        assert coeffs.dtype == np.int64
+
+    def test_scale_tradeoff(self):
+        """Higher scale, finer precision."""
+        z = np.array([np.pi] * (N // 2))
+        coarse = CkksEncoder(N, scale=2.0**10)
+        fine = CkksEncoder(N, scale=2.0**30)
+        err_coarse = np.max(np.abs(coarse.decode(coarse.encode(z)) - z))
+        err_fine = np.max(np.abs(fine.decode(fine.encode(z)) - z))
+        assert err_fine < err_coarse
+
+    def test_too_many_slots_rejected(self):
+        enc = CkksEncoder(N, scale=2.0**20)
+        with pytest.raises(ValueError):
+            enc.encode(np.ones(N))
+
+    def test_additivity(self):
+        enc = CkksEncoder(N, scale=2.0**25)
+        rng = np.random.default_rng(7)
+        a = rng.normal(size=N // 2)
+        b = rng.normal(size=N // 2)
+        summed = enc.decode(enc.encode(a) + enc.encode(b))
+        assert np.max(np.abs(summed - (a + b))) < 1e-5

@@ -1,0 +1,51 @@
+"""Four-step NTT decomposition (repro.poly.fourstep) vs. the direct NTT."""
+
+import numpy as np
+import pytest
+
+from repro.poly.fourstep import _split, four_step_intt, four_step_ntt
+from repro.poly.ntt import get_context
+from repro.rns.primes import ntt_friendly_primes
+
+
+@pytest.mark.parametrize("n", [4, 16, 64, 256, 1024, 4096])
+def test_forward_bit_exact(n):
+    q = ntt_friendly_primes(n, 26, 1)[0]
+    rng = np.random.default_rng(n)
+    a = rng.integers(0, q, n, dtype=np.uint64)
+    assert np.array_equal(four_step_ntt(a, n, q), get_context(n, q).forward(a))
+
+
+@pytest.mark.parametrize("n", [4, 16, 64, 256, 1024, 4096])
+def test_inverse_bit_exact(n):
+    q = ntt_friendly_primes(n, 26, 1)[0]
+    rng = np.random.default_rng(n + 1)
+    a = rng.integers(0, q, n, dtype=np.uint64)
+    evals = get_context(n, q).forward(a)
+    assert np.array_equal(four_step_intt(evals, n, q), a)
+
+
+def test_roundtrip_composition():
+    n = 256
+    q = ntt_friendly_primes(n, 26, 1)[0]
+    rng = np.random.default_rng(2)
+    a = rng.integers(0, q, n, dtype=np.uint64)
+    assert np.array_equal(four_step_intt(four_step_ntt(a, n, q), n, q), a)
+
+
+def test_split_shapes():
+    assert _split(16384) == (128, 128)
+    assert _split(8192) == (64, 128)
+    assert _split(4) == (2, 2)
+    for n in (16, 64, 1024, 16384):
+        n1, n2 = _split(n)
+        assert n1 * n2 == n
+        assert n1 <= n2 <= 128 * max(1, n // 16384) or n <= 16384
+
+
+def test_multiple_moduli_same_n():
+    n = 64
+    for q in ntt_friendly_primes(n, 26, 3):
+        rng = np.random.default_rng(q)
+        a = rng.integers(0, q, n, dtype=np.uint64)
+        assert np.array_equal(four_step_ntt(a, n, q), get_context(n, q).forward(a))

@@ -1,0 +1,155 @@
+"""Functional simulator (repro.sim.functional, Sec. 8.5): DSL programs
+executed on real ciphertexts, checked against a plaintext oracle."""
+
+import numpy as np
+import pytest
+
+from repro.dsl.program import OpKind, Program
+from repro.fhe.params import FheParams
+from repro.poly.automorphism import automorphism_coeff
+from repro.poly.ntt import naive_negacyclic_multiply
+from repro.sim.functional import FunctionalSimulator
+
+N = 256
+T = 256
+
+
+def plaintext_oracle(program: Program, inputs, plains):
+    """Interpret the op graph directly on plaintext vectors (mod t).
+
+    Rotations are sigma_{3^r} on coefficients — the same semantics the
+    homomorphic path implements."""
+    env = {}
+    out = {}
+    for op in program.ops:
+        k = op.kind
+        if k is OpKind.INPUT:
+            env[op.op_id] = np.asarray(inputs[op.op_id], dtype=np.uint64) % T
+        elif k is OpKind.INPUT_PLAIN:
+            v = np.zeros(N, dtype=np.uint64)
+            data = np.asarray(plains.get(op.op_id, [1]), dtype=np.uint64)
+            v[: data.shape[0]] = data % T
+            env[op.op_id] = v
+        elif k is OpKind.ADD:
+            env[op.op_id] = (env[op.args[0]] + env[op.args[1]]) % T
+        elif k is OpKind.SUB:
+            env[op.op_id] = (env[op.args[0]] - env[op.args[1]]) % T
+        elif k is OpKind.MUL:
+            env[op.op_id] = naive_negacyclic_multiply(
+                env[op.args[0]], env[op.args[1]], T
+            )
+        elif k is OpKind.MUL_PLAIN:
+            env[op.op_id] = naive_negacyclic_multiply(
+                env[op.args[0]], env[op.args[1]], T
+            )
+        elif k is OpKind.ADD_PLAIN:
+            env[op.op_id] = (env[op.args[0]] + env[op.args[1]]) % T
+        elif k is OpKind.ROTATE:
+            exponent = pow(3, op.rotate_steps, 2 * N)
+            env[op.op_id] = automorphism_coeff(env[op.args[0]], exponent, T)
+        elif k is OpKind.MOD_SWITCH:
+            env[op.op_id] = env[op.args[0]]
+        elif k is OpKind.OUTPUT:
+            env[op.op_id] = env[op.args[0]]
+            out[op.op_id] = env[op.args[0]]
+    return out
+
+
+@pytest.fixture(scope="module")
+def params():
+    return FheParams.build(n=N, levels=4, prime_bits=28, plaintext_modulus=T)
+
+
+class TestBgvPrograms:
+    def _run_and_compare(self, program, params, inputs, plains=None):
+        plains = plains or {}
+        sim = FunctionalSimulator(program, params, seed=5)
+        got = sim.run(inputs, plains)
+        want = plaintext_oracle(program, inputs, plains)
+        assert got.keys() == want.keys()
+        for key in got:
+            assert np.array_equal(got[key] % T, want[key] % T), key
+
+    def test_add_chain(self, params):
+        p = Program(n=N, name="adds")
+        x, y = p.input(2), p.input(2)
+        p.output(p.add(p.add(x, y), x))
+        rng = np.random.default_rng(0)
+        self._run_and_compare(
+            p, params,
+            {x.op_id: rng.integers(0, T, N), y.op_id: rng.integers(0, T, N)},
+        )
+
+    def test_mul_with_rescale(self, params):
+        p = Program(n=N, name="mul")
+        x, y = p.input(3), p.input(3)
+        p.output(p.mul(x, y))
+        rng = np.random.default_rng(1)
+        self._run_and_compare(
+            p, params,
+            {x.op_id: rng.integers(0, T, N), y.op_id: rng.integers(0, T, N)},
+        )
+
+    def test_rotate(self, params):
+        p = Program(n=N, name="rot")
+        x = p.input(2)
+        p.output(p.rotate(x, 3))
+        rng = np.random.default_rng(2)
+        self._run_and_compare(p, params, {x.op_id: rng.integers(0, T, N)})
+
+    def test_mul_plain_and_add_plain(self, params):
+        p = Program(n=N, name="plain")
+        x = p.input(2)
+        w = p.input_plain(2)
+        c = p.input_plain(2)
+        p.output(p.add_plain(p.mul_plain(x, w), c))
+        rng = np.random.default_rng(3)
+        self._run_and_compare(
+            p, params,
+            {x.op_id: rng.integers(0, T, N)},
+            {w.op_id: rng.integers(0, T, N), c.op_id: rng.integers(0, T, N)},
+        )
+
+    def test_matvec_program_shape(self, params):
+        """A miniature Listing-2: mul + rotate-accumulate + output."""
+        p = Program(n=N, name="mini_matvec")
+        row = p.input(3)
+        v = p.input(3)
+        prod = p.mul(row, v)
+        acc = p.add(prod, p.rotate(prod, 1))
+        acc = p.add(acc, p.rotate(acc, 2))
+        p.output(acc)
+        rng = np.random.default_rng(4)
+        self._run_and_compare(
+            p, params,
+            {row.op_id: rng.integers(0, T, N), v.op_id: rng.integers(0, T, N)},
+        )
+
+    def test_depth_two(self, params):
+        p = Program(n=N, name="deep")
+        x, y, z = p.input(4), p.input(4), p.input(4)
+        p.output(p.mul(p.mul(x, y), z))
+        rng = np.random.default_rng(6)
+        self._run_and_compare(
+            p, params,
+            {h.op_id: rng.integers(0, T, N) for h in (x, y, z)},
+        )
+
+
+class TestValidation:
+    def test_n_mismatch(self, params):
+        with pytest.raises(ValueError):
+            FunctionalSimulator(Program(n=2 * N), params)
+
+    def test_level_overflow(self, params):
+        p = Program(n=N)
+        p.input(params.level + 3)
+        with pytest.raises(ValueError):
+            FunctionalSimulator(p, params)
+
+    def test_missing_input(self, params):
+        p = Program(n=N)
+        x = p.input(2)
+        p.output(x)
+        with pytest.raises(KeyError):
+            FunctionalSimulator(p, params).run({})

@@ -1,0 +1,79 @@
+"""GSW external products (repro.fhe.gsw)."""
+
+import numpy as np
+import pytest
+
+from repro.fhe.gsw import GswContext
+from repro.poly.ntt import naive_negacyclic_multiply
+
+N = 256
+T = 256
+
+
+@pytest.fixture(scope="module")
+def gsw(bgv):
+    return GswContext(bgv)
+
+
+@pytest.fixture(scope="module")
+def message(bgv):
+    rng = np.random.default_rng(41)
+    m = rng.integers(0, T, N)
+    return m, bgv.encrypt(m)
+
+
+class TestExternalProduct:
+    def test_multiply_by_monomial(self, bgv, gsw, message):
+        m, ct = message
+        mono = np.zeros(N, dtype=np.int64)
+        mono[3] = 1
+        out = gsw.external_product(gsw.encrypt(mono), ct)
+        expected = naive_negacyclic_multiply(mono % T, m, T)
+        assert np.array_equal(gsw.decrypt(out), expected)
+
+    def test_multiply_by_zero(self, bgv, gsw, message):
+        _, ct = message
+        out = gsw.external_product(gsw.encrypt(np.zeros(N, dtype=np.int64)), ct)
+        assert not gsw.decrypt(out).any()
+
+    def test_multiply_by_one_is_identity(self, bgv, gsw, message):
+        m, ct = message
+        one = np.zeros(N, dtype=np.int64)
+        one[0] = 1
+        out = gsw.external_product(gsw.encrypt(one), ct)
+        assert np.array_equal(gsw.decrypt(out), m)
+
+    def test_small_polynomial_multiplier(self, bgv, gsw, message):
+        m, ct = message
+        small = np.zeros(N, dtype=np.int64)
+        small[0], small[1], small[5] = 2, -1, 3
+        out = gsw.external_product(gsw.encrypt(small), ct)
+        expected = naive_negacyclic_multiply(small % T, m, T)
+        assert np.array_equal(gsw.decrypt(out), expected)
+
+    def test_noise_growth_is_small(self, bgv, gsw, message):
+        """GSW's hallmark: external products add noise proportional to the
+        (small) GSW message, not to the ciphertext noise product."""
+        m, ct = message
+        bit = np.zeros(N, dtype=np.int64)
+        bit[0] = 1
+        out = gsw.external_product(gsw.encrypt(bit), ct)
+        assert bgv.noise_budget_bits(out) > bgv.noise_budget_bits(ct) - 45
+
+    def test_chained_external_products(self, bgv, gsw, message):
+        m, ct = message
+        mono = np.zeros(N, dtype=np.int64)
+        mono[1] = 1
+        g = gsw.encrypt(mono)
+        out = gsw.external_product(g, gsw.external_product(g, ct))
+        sq = naive_negacyclic_multiply(mono % T, mono % T, T)
+        expected = naive_negacyclic_multiply(sq, m, T)
+        assert np.array_equal(gsw.decrypt(out), expected)
+
+    def test_level_mismatch_rejected(self, bgv, gsw, message):
+        _, ct = message
+        low = bgv.mod_switch(ct)
+        bit = np.zeros(N, dtype=np.int64)
+        bit[0] = 1
+        with pytest.raises(ValueError):
+            gsw.external_product(gsw.encrypt(bit), low)

@@ -1,0 +1,101 @@
+"""End-to-end integration: compile -> schedule -> check -> stats, across the
+benchmark suite at tiny scale, plus the table/figure harnesses."""
+
+import numpy as np
+import pytest
+
+from repro.bench.micro import MICRO_PARAM_SETS, microbenchmark_f1_ns
+from repro.bench.runner import run_benchmark, table4_rows
+from repro.bench.workloads import benchmark_suite, lola_mnist
+from repro.compiler.pipeline import compile_program
+from repro.core.config import F1Config
+from repro.sim.simulator import check_schedule
+from repro.sim.stats import power_breakdown, traffic_fractions, utilization_timeline
+
+SMALL_N = 4096
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return benchmark_suite(scale=0.08, n=SMALL_N)
+
+
+class TestFullPipeline:
+    def test_all_benchmarks_compile_and_validate(self, suite):
+        for name, program in suite.items():
+            result = run_benchmark(program)  # check=True validates
+            assert result.f1_ms > 0, name
+            assert result.cpu_ms > result.f1_ms, name
+
+    def test_speedups_are_three_to_five_orders(self, suite):
+        """The headline claim: F1 wins by 3-4+ orders of magnitude."""
+        for name, program in suite.items():
+            result = run_benchmark(program, check=False)
+            assert 100 < result.speedup < 10**6, (name, result.speedup)
+
+    def test_stats_self_consistent(self, suite):
+        program = suite["lola_mnist_uw"]
+        cp = compile_program(program)
+        fractions = traffic_fractions(cp.movement, cp.config.rvec_bytes(SMALL_N))
+        assert sum(fractions.values()) == pytest.approx(1.0)
+        power = power_breakdown(cp.schedule, cp.movement)
+        assert power["total"] == pytest.approx(
+            sum(v for k, v in power.items() if k != "total")
+        )
+        assert 0 < power["total"] < 1000
+
+    def test_timeline_conserves_busy_cycles(self, suite):
+        cp = compile_program(suite["lola_mnist_uw"])
+        tl = utilization_timeline(cp.schedule, windows=32)
+        for fu, series in tl.active_fus.items():
+            total = float(series.sum()) * tl.window_cycles
+            assert total == pytest.approx(cp.schedule.fu_busy_cycles[fu], rel=0.01)
+
+    def test_deep_benchmarks_are_ksh_dominated(self, suite):
+        """Fig. 9a: key-switch hints dominate the deep workloads."""
+        cp = compile_program(suite["logistic_regression"])
+        fractions = traffic_fractions(cp.movement, cp.config.rvec_bytes(SMALL_N))
+        ksh = fractions["ksh_compulsory"] + fractions["ksh_capacity"]
+        assert ksh > 0.5
+
+
+class TestMicrobenchmarks:
+    def test_f1_ns_close_to_paper(self):
+        """F1 reciprocal throughputs within 2x of Table 4 at every point."""
+        paper = {
+            ("ntt", 1 << 12): 12.8, ("ntt", 1 << 13): 44.8, ("ntt", 1 << 14): 179.2,
+            ("aut", 1 << 12): 12.8, ("aut", 1 << 13): 44.8, ("aut", 1 << 14): 179.2,
+            ("mul", 1 << 12): 60.0, ("mul", 1 << 13): 300.0, ("mul", 1 << 14): 2000.0,
+            ("perm", 1 << 12): 40.0, ("perm", 1 << 13): 224.0, ("perm", 1 << 14): 1680.0,
+        }
+        for (n, log_q) in MICRO_PARAM_SETS:
+            for op in ("ntt", "aut", "mul", "perm"):
+                got = microbenchmark_f1_ns(op, n, log_q)
+                want = paper[(op, n)]
+                assert want / 2 < got < want * 2, (op, n, got, want)
+
+    def test_table4_rows_complete(self):
+        rows = table4_rows()
+        assert len(rows) == 12
+        for row in rows:
+            assert row["speedup_vs_cpu"] > 1000
+            assert row["speedup_vs_heax"] > 50
+
+
+class TestSensitivityDirections:
+    def test_lt_ntt_hurts_compute_bound_benchmark(self):
+        """Table 5's direction: low-throughput NTTs slow MNIST down."""
+        program = lola_mnist(scale=0.15, n=SMALL_N)
+        base = run_benchmark(program, F1Config(), check=False).f1_ms
+        lt = run_benchmark(
+            program, F1Config().with_low_throughput_ntt(), check=False
+        ).f1_ms
+        assert lt >= base * 0.95  # never meaningfully faster
+
+    def test_lt_aut_not_faster(self):
+        program = lola_mnist(scale=0.15, n=SMALL_N)
+        base = run_benchmark(program, F1Config(), check=False).f1_ms
+        lt = run_benchmark(
+            program, F1Config().with_low_throughput_aut(), check=False
+        ).f1_ms
+        assert lt >= base * 0.95

@@ -1,0 +1,106 @@
+"""Modular multiplier designs (repro.rns.multipliers, Table 1)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rns.multipliers import (
+    ALL_MULTIPLIERS,
+    BarrettMultiplier,
+    FheFriendlyMultiplier,
+    MontgomeryMultiplier,
+    NttFriendlyMultiplier,
+    multiplier_comparison_table,
+)
+from repro.rns.primes import fhe_friendly_primes, ntt_friendly_primes
+
+GENERAL_Q = ntt_friendly_primes(128, 31, 1)[0]
+FHE_Q = fhe_friendly_primes(1024, 32, 1)[0]
+
+
+def _check_all_pairs(mult, q, pairs):
+    for a, b in pairs:
+        assert mult.multiply(a, b) == (a * b) % q, (a, b, q)
+
+
+EDGE_PAIRS = lambda q: [  # noqa: E731
+    (0, 0), (1, 1), (0, q - 1), (q - 1, q - 1), (q // 2, 2), (1, q - 1),
+    (q - 1, 1), (12345, 67890),
+]
+
+
+class TestFunctionalCorrectness:
+    def test_barrett(self):
+        _check_all_pairs(BarrettMultiplier(GENERAL_Q), GENERAL_Q, EDGE_PAIRS(GENERAL_Q))
+
+    def test_montgomery(self):
+        _check_all_pairs(MontgomeryMultiplier(GENERAL_Q), GENERAL_Q, EDGE_PAIRS(GENERAL_Q))
+
+    def test_ntt_friendly(self):
+        m = NttFriendlyMultiplier(GENERAL_Q, two_n=256)
+        _check_all_pairs(m, GENERAL_Q, EDGE_PAIRS(GENERAL_Q))
+
+    def test_fhe_friendly(self):
+        _check_all_pairs(FheFriendlyMultiplier(FHE_Q), FHE_Q, EDGE_PAIRS(FHE_Q))
+
+    def test_fhe_friendly_montgomery_constant_is_minus_one(self):
+        m = FheFriendlyMultiplier(FHE_Q)
+        assert m._q_inv_neg % (1 << 16) == (1 << 16) - 1
+
+    def test_ntt_friendly_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            NttFriendlyMultiplier(GENERAL_Q, two_n=1 << 20)
+
+    def test_even_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            BarrettMultiplier(1 << 20)
+
+    def test_oversized_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            MontgomeryMultiplier((1 << 33) + 1)
+
+
+@given(
+    a=st.integers(min_value=0, max_value=FHE_Q - 1),
+    b=st.integers(min_value=0, max_value=FHE_Q - 1),
+)
+@settings(max_examples=200, deadline=None)
+def test_all_designs_agree_property(a, b):
+    expected = (a * b) % FHE_Q
+    assert BarrettMultiplier(FHE_Q).multiply(a, b) == expected
+    assert MontgomeryMultiplier(FHE_Q).multiply(a, b) == expected
+    assert FheFriendlyMultiplier(FHE_Q).multiply(a, b) == expected
+
+
+class TestCostModel:
+    """Table 1: Barrett 5271/18.40/1317; Montgomery 2916/9.29/1040;
+    NTT-friendly 2165/5.36/1000; FHE-friendly 1817/4.10/1000."""
+
+    PAPER = {
+        "Barrett": (5271, 18.40, 1317),
+        "Montgomery": (2916, 9.29, 1040),
+        "NTT-friendly": (2165, 5.36, 1000),
+        "FHE-friendly (ours)": (1817, 4.10, 1000),
+    }
+
+    def test_matches_paper_within_tolerance(self):
+        for row in multiplier_comparison_table():
+            area, power, delay = self.PAPER[row["design"]]
+            assert row["area_um2"] == pytest.approx(area, rel=0.10)
+            assert row["power_mw"] == pytest.approx(power, rel=0.15)
+            assert row["delay_ps"] == pytest.approx(delay, rel=0.01)
+
+    def test_ordering(self):
+        """The paper's headline: each specialization shrinks the multiplier."""
+        costs = [cls.cost() for cls in ALL_MULTIPLIERS]
+        areas = [c.area_um2 for c in costs]
+        powers = [c.power_mw for c in costs]
+        assert areas == sorted(areas, reverse=True)
+        assert powers == sorted(powers, reverse=True)
+
+    def test_fhe_friendly_savings_vs_ntt_friendly(self):
+        """Sec. 5.3 claims ~19%/~30% savings vs. [51]; Table 1's own numbers
+        work out to 16% area and 23.5% power, which is what we pin here."""
+        ntt = NttFriendlyMultiplier.cost()
+        fhe = FheFriendlyMultiplier.cost()
+        assert 1 - fhe.area_um2 / ntt.area_um2 == pytest.approx(0.16, abs=0.03)
+        assert 1 - fhe.power_mw / ntt.power_mw == pytest.approx(0.235, abs=0.03)

@@ -1,0 +1,89 @@
+"""Noise model (repro.fhe.noise) and parameter validation (repro.fhe.params)."""
+
+import numpy as np
+import pytest
+
+from repro.fhe import noise
+from repro.fhe.params import FheParams, max_secure_log_q
+from repro.rns.crt import RnsBasis
+from repro.rns.primes import ntt_friendly_primes
+
+
+class TestNoiseEstimates:
+    """The analytic estimates must upper-bound the measured noise."""
+
+    def _measured_bits(self, bgv, ct):
+        phase = ct.b - ct.a * bgv.secret.poly(ct.basis)
+        wide = phase.to_int_coeffs(centered=True)
+        worst = max(abs(c) for c in wide)
+        return max(worst, 1).bit_length()
+
+    def test_fresh_estimate_bounds_measurement(self, bgv, rng):
+        ct = bgv.encrypt(rng.integers(0, 256, 256))
+        assert ct.noise_bits >= self._measured_bits(bgv, ct) - 1
+
+    def test_mul_estimate_bounds_measurement(self, bgv, rng):
+        m = rng.integers(0, 256, 256)
+        ct = bgv.mul(bgv.encrypt(m), bgv.encrypt(m))
+        assert ct.noise_bits >= self._measured_bits(bgv, ct) - 1
+
+    def test_add_estimate_bounds_measurement(self, bgv, rng):
+        m = rng.integers(0, 256, 256)
+        ct = bgv.add(bgv.encrypt(m), bgv.encrypt(m))
+        assert ct.noise_bits >= self._measured_bits(bgv, ct) - 1
+
+    def test_rotation_estimate_bounds_measurement(self, bgv, rng):
+        m = rng.integers(0, 256, 256)
+        ct = bgv.rotate(bgv.encrypt(m), 1)
+        assert ct.noise_bits >= self._measured_bits(bgv, ct) - 1
+
+    def test_mod_switch_reduces_estimate(self, bgv, rng):
+        m = rng.integers(0, 256, 256)
+        prod = bgv.mul(bgv.encrypt(m), bgv.encrypt(m))
+        assert bgv.mod_switch(prod).noise_bits < prod.noise_bits
+
+    def test_formula_monotonicity(self):
+        assert noise.mul_noise_bits(20, 20, 1024, 256) > 40
+        assert noise.add_noise_bits(20, 10) == 21
+        assert noise.keyswitch_v2_noise_bits(1024, 256, 8) < \
+            noise.keyswitch_v1_noise_bits(1024, 256, 8, 1 << 28, 8)
+
+
+class TestParams:
+    def test_security_table(self):
+        assert max_secure_log_q(4096) == 109
+        assert max_secure_log_q(16384) == 438
+        assert max_secure_log_q(512) == 0
+
+    def test_insecure_params_rejected_when_enforced(self):
+        primes = ntt_friendly_primes(1024, 28, 4)  # logQ ~112 >> 27
+        with pytest.raises(ValueError):
+            FheParams(
+                n=1024, basis=RnsBasis(primes), allow_insecure=False
+            )
+
+    def test_secure_params_accepted(self):
+        primes = ntt_friendly_primes(4096, 26, 4)  # logQ ~104 <= 109
+        FheParams(n=4096, basis=RnsBasis(primes), allow_insecure=False)
+
+    def test_non_ntt_friendly_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            FheParams(n=1024, basis=RnsBasis([97]))
+
+    def test_basis_at(self, bgv_params):
+        assert bgv_params.basis_at(2).level == 2
+        assert bgv_params.basis_at(bgv_params.level) == bgv_params.basis
+        with pytest.raises(ValueError):
+            bgv_params.basis_at(0)
+        with pytest.raises(ValueError):
+            bgv_params.basis_at(bgv_params.level + 1)
+
+    def test_build_respects_plaintext_modulus(self):
+        p = FheParams.build(n=128, levels=2, plaintext_modulus=16)
+        assert p.plaintext_modulus == 16
+        # q ≡ 1 mod 2N implies q ≡ 1 mod t for power-of-two t <= 2N.
+        for q in p.basis.moduli:
+            assert q % 16 == 1
+
+    def test_log_q(self, bgv_params):
+        assert bgv_params.log_q == bgv_params.basis.modulus.bit_length()

@@ -1,0 +1,139 @@
+"""Negacyclic NTT (repro.poly.ntt)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.poly.ntt import NttContext, cyclic_ntt_rows, get_context, naive_negacyclic_multiply
+from repro.rns.primes import ntt_friendly_primes, primitive_root_of_unity
+
+N = 128
+Q = ntt_friendly_primes(N, 28, 1)[0]
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return get_context(N, Q)
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestRoundTrip:
+    def test_forward_inverse_identity(self, ctx, rng):
+        a = rng.integers(0, Q, N, dtype=np.uint64)
+        assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
+
+    def test_inverse_forward_identity(self, ctx, rng):
+        a = rng.integers(0, Q, N, dtype=np.uint64)
+        assert np.array_equal(ctx.forward(ctx.inverse(a)), a)
+
+    def test_zero_fixed_point(self, ctx):
+        zero = np.zeros(N, dtype=np.uint64)
+        assert np.array_equal(ctx.forward(zero), zero)
+
+    def test_constant_polynomial(self, ctx):
+        """NTT of the constant c is the all-c vector (evaluations of c)."""
+        c = np.zeros(N, dtype=np.uint64)
+        c[0] = 42
+        assert np.array_equal(ctx.forward(c), np.full(N, 42, dtype=np.uint64))
+
+    @pytest.mark.parametrize("n", [2, 4, 16, 64, 512, 1024])
+    def test_many_sizes(self, n, rng):
+        q = ntt_friendly_primes(n, 26, 1)[0]
+        local = get_context(n, q)
+        a = rng.integers(0, q, n, dtype=np.uint64)
+        assert np.array_equal(local.inverse(local.forward(a)), a)
+
+
+class TestAlgebra:
+    def test_linearity(self, ctx, rng):
+        a = rng.integers(0, Q, N, dtype=np.uint64)
+        b = rng.integers(0, Q, N, dtype=np.uint64)
+        lhs = ctx.forward((a + b) % np.uint64(Q))
+        rhs = (ctx.forward(a) + ctx.forward(b)) % np.uint64(Q)
+        assert np.array_equal(lhs, rhs)
+
+    def test_convolution_theorem(self, ctx, rng):
+        """NTT(a*b) = NTT(a) ⊙ NTT(b) — the Sec. 2.3 identity, checked
+        against the O(N^2) schoolbook negacyclic convolution."""
+        a = rng.integers(0, Q, N, dtype=np.uint64)
+        b = rng.integers(0, Q, N, dtype=np.uint64)
+        assert np.array_equal(
+            ctx.negacyclic_multiply(a, b), naive_negacyclic_multiply(a, b, Q)
+        )
+
+    def test_negacyclic_wraparound_sign(self, ctx):
+        """x^(N-1) * x = x^N = -1 in R_q."""
+        a = np.zeros(N, dtype=np.uint64)
+        b = np.zeros(N, dtype=np.uint64)
+        a[N - 1] = 1
+        b[1] = 1
+        prod = ctx.negacyclic_multiply(a, b)
+        expected = np.zeros(N, dtype=np.uint64)
+        expected[0] = Q - 1
+        assert np.array_equal(prod, expected)
+
+    def test_multiply_by_one(self, ctx, rng):
+        one = np.zeros(N, dtype=np.uint64)
+        one[0] = 1
+        a = rng.integers(0, Q, N, dtype=np.uint64)
+        assert np.array_equal(ctx.negacyclic_multiply(a, one), a)
+
+
+class TestValidation:
+    def test_non_ntt_friendly_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            NttContext(N, 97)  # 97-1 not divisible by 256
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            NttContext(100, Q)
+
+    def test_wrong_shape_rejected(self, ctx):
+        with pytest.raises(ValueError):
+            ctx.forward(np.zeros(N + 1, dtype=np.uint64))
+
+    def test_context_cache_identity(self):
+        assert get_context(N, Q) is get_context(N, Q)
+
+
+class TestCyclicNttRows:
+    def test_matches_dft_definition(self, rng):
+        n, rows = 16, 3
+        omega = primitive_root_of_unity(n, Q)
+        m = rng.integers(0, Q, (rows, n), dtype=np.uint64)
+        out = cyclic_ntt_rows(m, omega, Q)
+        for r in range(rows):
+            for k in range(n):
+                expected = sum(int(m[r, i]) * pow(omega, i * k, Q) for i in range(n)) % Q
+                assert out[r, k] == expected
+
+    def test_rejects_non_primitive_root(self):
+        with pytest.raises(ValueError):
+            cyclic_ntt_rows(np.zeros((1, 8), dtype=np.uint64), 1, Q)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=Q - 1), min_size=N, max_size=N))
+@settings(max_examples=25, deadline=None)
+def test_roundtrip_property(coeffs):
+    ctx = get_context(N, Q)
+    a = np.array(coeffs, dtype=np.uint64)
+    assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=Q - 1), min_size=16, max_size=16),
+    st.lists(st.integers(min_value=0, max_value=Q - 1), min_size=16, max_size=16),
+)
+@settings(max_examples=25, deadline=None)
+def test_convolution_property_small(a, b):
+    q16 = ntt_friendly_primes(16, 24, 1)[0]
+    ctx = get_context(16, q16)
+    av = np.array(a, dtype=np.uint64) % np.uint64(q16)
+    bv = np.array(b, dtype=np.uint64) % np.uint64(q16)
+    assert np.array_equal(
+        ctx.negacyclic_multiply(av, bv), naive_negacyclic_multiply(av, bv, q16)
+    )

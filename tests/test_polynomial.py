@@ -1,0 +1,110 @@
+"""RnsPolynomial value type (repro.poly.polynomial)."""
+
+import numpy as np
+import pytest
+
+from repro.poly.ntt import naive_negacyclic_multiply
+from repro.poly.polynomial import Domain, RnsPolynomial
+from repro.rns.crt import RnsBasis
+from repro.rns.primes import ntt_friendly_primes
+
+N = 64
+BASIS = RnsBasis(ntt_friendly_primes(N, 26, 3))
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(11)
+
+
+@pytest.fixture()
+def a(rng):
+    return RnsPolynomial.random_uniform(BASIS, N, rng)
+
+
+@pytest.fixture()
+def b(rng):
+    return RnsPolynomial.random_uniform(BASIS, N, rng)
+
+
+class TestConstruction:
+    def test_zeros(self):
+        z = RnsPolynomial.zeros(BASIS, N)
+        assert z.to_int_coeffs() == [0] * N
+
+    def test_from_int_roundtrip(self):
+        values = [0, 1, -1, BASIS.modulus // 3, -(BASIS.modulus // 3)]
+        poly = RnsPolynomial.from_int_coeffs(BASIS, values + [0] * (N - len(values)))
+        assert poly.to_int_coeffs(centered=True)[: len(values)] == values
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            RnsPolynomial(BASIS, np.zeros((2, N), dtype=np.uint64), Domain.COEFF)
+
+
+class TestDomainConversion:
+    def test_ntt_roundtrip(self, a):
+        assert np.array_equal(a.to_ntt().to_coeff().limbs, a.limbs)
+
+    def test_idempotent(self, a):
+        ntt = a.to_ntt()
+        assert ntt.to_ntt() is ntt
+
+    def test_mul_requires_ntt(self, a, b):
+        with pytest.raises(ValueError):
+            _ = a * b  # both in COEFF domain
+
+    def test_mixed_domain_rejected(self, a, b):
+        with pytest.raises(ValueError):
+            _ = a.to_ntt() + b
+
+
+class TestArithmetic:
+    def test_add_matches_integer_math(self, a, b):
+        q = BASIS.modulus
+        expected = [(x + y) % q for x, y in zip(a.to_int_coeffs(centered=False),
+                                                b.to_int_coeffs(centered=False))]
+        got = (a + b).to_int_coeffs(centered=False)
+        assert got == expected
+
+    def test_sub_add_neg_consistency(self, a, b):
+        via_sub = (a - b).to_int_coeffs()
+        via_neg = (a + (-b)).to_int_coeffs()
+        assert via_sub == via_neg
+
+    def test_ntt_mul_matches_naive_per_limb(self, a, b):
+        prod = (a.to_ntt() * b.to_ntt()).to_coeff()
+        for i, q in enumerate(BASIS.moduli):
+            expected = naive_negacyclic_multiply(a.limbs[i], b.limbs[i], q)
+            assert np.array_equal(prod.limbs[i], expected)
+
+    def test_scalar_mul(self, a):
+        tripled = (a.scalar_mul(3)).to_int_coeffs(centered=False)
+        expected = [(3 * c) % BASIS.modulus
+                    for c in a.to_int_coeffs(centered=False)]
+        assert tripled == expected
+
+    def test_int_mul_operator(self, a):
+        assert np.array_equal((a * 5).limbs, a.scalar_mul(5).limbs)
+
+    def test_basis_mismatch_rejected(self, a, rng):
+        other = RnsPolynomial.random_uniform(RnsBasis(BASIS.moduli[:2]), N, rng)
+        with pytest.raises(ValueError):
+            _ = a + other
+
+
+class TestAutomorphismAndLimbs:
+    def test_automorphism_domain_agnostic(self, a):
+        coeff_route = a.automorphism(3).to_ntt()
+        ntt_route = a.to_ntt().automorphism(3)
+        assert np.array_equal(coeff_route.limbs, ntt_route.limbs)
+
+    def test_drop_limb(self, a):
+        dropped = a.drop_limb()
+        assert dropped.basis.level == BASIS.level - 1
+        assert np.array_equal(dropped.limbs, a.limbs[:-1])
+
+    def test_copy_is_independent(self, a):
+        c = a.copy()
+        c.limbs[0][0] += np.uint64(1)
+        assert not np.array_equal(c.limbs[0], a.limbs[0])

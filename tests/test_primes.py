@@ -1,0 +1,86 @@
+"""Prime generation and primality (repro.rns.primes)."""
+
+import pytest
+
+from repro.rns.primes import (
+    fhe_friendly_primes,
+    is_prime,
+    ntt_friendly_primes,
+    primitive_root_of_unity,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 65537):
+            assert is_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 9, 15, 91, 561, 65536):
+            assert not is_prime(c)
+
+    def test_carmichael_numbers_rejected(self):
+        for c in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_prime(c)
+
+    def test_large_known_prime(self):
+        assert is_prime((1 << 31) - 1)          # Mersenne M31
+        assert not is_prime((1 << 32) - 1)
+
+    def test_negative(self):
+        assert not is_prime(-7)
+
+
+class TestNttFriendlyPrimes:
+    def test_congruence(self):
+        for n in (64, 256, 1024):
+            for q in ntt_friendly_primes(n, 28, 4):
+                assert q % (2 * n) == 1
+                assert is_prime(q)
+
+    def test_distinct_and_sized(self):
+        primes = ntt_friendly_primes(256, 28, 6)
+        assert len(set(primes)) == 6
+        for q in primes:
+            assert (1 << 27) < q < (1 << 28)
+
+    def test_seeded_start_differs(self):
+        a = ntt_friendly_primes(256, 28, 3)
+        b = ntt_friendly_primes(256, 28, 3, seed=42)
+        assert a != b
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            ntt_friendly_primes(100, 28, 1)
+
+    def test_deterministic_without_seed(self):
+        assert ntt_friendly_primes(128, 24, 3) == ntt_friendly_primes(128, 24, 3)
+
+
+class TestFheFriendlyPrimes:
+    def test_congruence_mod_2_16(self):
+        """Sec. 5.3's restriction: q ≡ 1 mod 2^16 kills one multiplier stage."""
+        for q in fhe_friendly_primes(256, 32, 4):
+            assert q % (1 << 16) == 1
+            assert is_prime(q)
+
+    def test_implies_ntt_friendly_for_all_supported_n(self):
+        for q in fhe_friendly_primes(1024, 32, 3):
+            for n in (1024, 4096, 16384, 32768):
+                assert (q - 1) % (2 * n) == 0
+
+    def test_requires_wide_words(self):
+        with pytest.raises(ValueError):
+            fhe_friendly_primes(256, 16, 1)
+
+
+class TestPrimitiveRoots:
+    def test_order_and_primitivity(self):
+        q = ntt_friendly_primes(256, 28, 1)[0]
+        root = primitive_root_of_unity(512, q)
+        assert pow(root, 512, q) == 1
+        assert pow(root, 256, q) == q - 1  # primitive, not just of dividing order
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            primitive_root_of_unity(512, 13)  # 512 does not divide 12

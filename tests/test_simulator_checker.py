@@ -1,0 +1,100 @@
+"""The checker must catch corrupted schedules (repro.sim.simulator)."""
+
+import dataclasses
+
+import pytest
+
+from repro.compiler.hecompiler import compile_to_instructions
+from repro.compiler.data_scheduler import Event, schedule_data_movement
+from repro.compiler.cycle_scheduler import schedule_cycles
+from repro.core.config import F1Config
+from repro.dsl.program import Program
+from repro.sim.simulator import check_schedule
+
+
+@pytest.fixture(scope="module")
+def pieces():
+    p = Program(n=2048, name="checker")
+    x, y = p.input(3), p.input(3)
+    p.output(p.rotate(p.mul(x, y), 1))
+    cfg = F1Config()
+    translation = compile_to_instructions(p)
+    movement = schedule_data_movement(translation.graph, translation.outputs, cfg)
+    schedule = schedule_cycles(translation.graph, movement, cfg)
+    return translation, movement, schedule, cfg
+
+
+def test_valid_schedule_passes(pieces):
+    translation, movement, schedule, cfg = pieces
+    report = check_schedule(translation.graph, movement, schedule, cfg)
+    assert report.ok, report.violations[:3]
+    assert report.peak_resident_rvecs > 0
+
+
+def test_detects_dependence_violation(pieces):
+    translation, movement, schedule, cfg = pieces
+    # Yank a late instruction to cycle 0: its operands can't be ready.
+    hacked = dataclasses.replace(schedule)
+    victim_idx = len(hacked.instrs) - 1
+    victim = hacked.instrs[victim_idx]
+    hacked.instrs = list(hacked.instrs)
+    hacked.instrs[victim_idx] = dataclasses.replace(victim, start=0, end=1)
+    report = check_schedule(translation.graph, movement, hacked, cfg)
+    assert not report.ok
+    assert any("before operand" in v for v in report.violations)
+
+
+def test_detects_structural_hazard(pieces):
+    translation, movement, schedule, cfg = pieces
+    hacked = dataclasses.replace(schedule)
+    hacked.instrs = list(hacked.instrs)
+    # Force two instructions onto the same unit at the same cycle.
+    first = hacked.instrs[0]
+    clash = None
+    for i, s in enumerate(hacked.instrs[1:], start=1):
+        if s.fu == first.fu:
+            clash = i
+            break
+    assert clash is not None
+    hacked.instrs[clash] = dataclasses.replace(
+        hacked.instrs[clash],
+        start=first.start,
+        end=first.start + hacked.instrs[clash].occupancy,
+        cluster=first.cluster,
+        unit=first.unit,
+    )
+    report = check_schedule(translation.graph, movement, hacked, cfg)
+    assert not report.ok
+
+
+def test_detects_hbm_oversubscription(pieces):
+    translation, movement, schedule, cfg = pieces
+    hacked = dataclasses.replace(schedule)
+    hacked.transfers = list(hacked.transfers)
+    if len(hacked.transfers) >= 2:
+        a = hacked.transfers[0]
+        hacked.transfers[1] = dataclasses.replace(
+            hacked.transfers[1], start=a.start, end=a.end
+        )
+        report = check_schedule(translation.graph, movement, hacked, cfg)
+        assert any("HBM" in v for v in report.violations)
+
+
+def test_detects_clobber(pieces):
+    translation, movement, schedule, cfg = pieces
+    hacked_movement = dataclasses.replace(movement)
+    hacked_movement.events = [
+        e for e in movement.events if e.kind != "load"
+    ]
+    report = check_schedule(translation.graph, hacked_movement, schedule, cfg)
+    assert not report.ok
+    assert any("clobber" in v for v in report.violations)
+
+
+def test_raise_if_failed(pieces):
+    translation, movement, schedule, cfg = pieces
+    hacked_movement = dataclasses.replace(movement)
+    hacked_movement.events = [e for e in movement.events if e.kind != "load"]
+    report = check_schedule(translation.graph, hacked_movement, schedule, cfg)
+    with pytest.raises(AssertionError):
+        report.raise_if_failed()

@@ -1,0 +1,66 @@
+"""Quadrant-swap transpose (repro.poly.transpose, Sec. 5.1/Fig. 7)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.poly.transpose import quadrant_swap_transpose, transpose_chunked
+
+
+@pytest.mark.parametrize("size", [1, 2, 4, 8, 16, 32, 64, 128])
+def test_matches_numpy_transpose(size):
+    rng = np.random.default_rng(size)
+    m = rng.integers(0, 1 << 32, (size, size), dtype=np.uint64)
+    assert np.array_equal(quadrant_swap_transpose(m), m.T)
+
+
+def test_involution():
+    rng = np.random.default_rng(0)
+    m = rng.integers(0, 100, (16, 16))
+    assert np.array_equal(quadrant_swap_transpose(quadrant_swap_transpose(m)), m)
+
+
+def test_rejects_non_square():
+    with pytest.raises(ValueError):
+        quadrant_swap_transpose(np.zeros((4, 8)))
+
+
+def test_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        quadrant_swap_transpose(np.zeros((6, 6)))
+
+
+class TestChunked:
+    """The G x E view used for residue polynomials (G <= E, Fig. 7 right)."""
+
+    @pytest.mark.parametrize("g,e", [(1, 8), (2, 8), (4, 8), (8, 8), (4, 128)])
+    def test_matches_reshape_transpose(self, g, e):
+        rng = np.random.default_rng(g * e)
+        flat = rng.integers(0, 1 << 20, g * e, dtype=np.uint64)
+        expected = flat.reshape(g, e).T.reshape(-1)
+        assert np.array_equal(transpose_chunked(flat, e), expected)
+
+    def test_square_path_uses_quadrant_swap(self):
+        e = 16
+        rng = np.random.default_rng(3)
+        flat = rng.integers(0, 100, e * e, dtype=np.uint64)
+        assert np.array_equal(
+            transpose_chunked(flat, e), flat.reshape(e, e).T.reshape(-1)
+        )
+
+    def test_rejects_g_greater_than_e(self):
+        with pytest.raises(ValueError):
+            transpose_chunked(np.zeros(64, dtype=np.uint64), 4)
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            transpose_chunked(np.zeros(65, dtype=np.uint64), 8)
+
+
+@given(st.integers(min_value=0, max_value=6))
+@settings(max_examples=7, deadline=None)
+def test_transpose_property_all_sizes(log_size):
+    size = 1 << log_size
+    rng = np.random.default_rng(log_size)
+    m = rng.integers(0, 1000, (size, size))
+    assert np.array_equal(quadrant_swap_transpose(m), m.T)

@@ -1,0 +1,97 @@
+"""Benchmark workload generators (repro.bench.workloads)."""
+
+import pytest
+
+from repro.bench.workloads import (
+    benchmark_suite,
+    bgv_bootstrapping,
+    ckks_bootstrapping,
+    db_lookup,
+    lola_cifar,
+    lola_mnist,
+    logistic_regression,
+)
+from repro.dsl.program import OpKind
+
+
+class TestStructure:
+    def test_mnist_uw_levels_and_scheme(self):
+        p = lola_mnist(encrypted_weights=False, scale=0.2, n=4096)
+        assert p.scheme == "ckks"
+        assert max(op.level for op in p.ops) == 4  # Sec. 7: starting L=4
+
+    def test_mnist_ew_levels(self):
+        p = lola_mnist(encrypted_weights=True, scale=0.2, n=4096)
+        assert max(op.level for op in p.ops) == 6  # starting L=6
+
+    def test_mnist_ew_uses_ciphertext_weights(self):
+        uw = lola_mnist(encrypted_weights=False, scale=0.2, n=4096)
+        ew = lola_mnist(encrypted_weights=True, scale=0.2, n=4096)
+        assert sum(1 for op in ew.ops if op.kind is OpKind.MUL) > sum(
+            1 for op in uw.ops if op.kind is OpKind.MUL
+        )
+
+    def test_cifar_levels(self):
+        p = lola_cifar(scale=0.1, n=4096)
+        assert max(op.level for op in p.ops) == 8
+
+    def test_logreg_structure(self):
+        p = logistic_regression(scale=0.2, n=4096)
+        assert p.scheme == "ckks"
+        assert max(op.level for op in p.ops) == 16
+        assert p.multiplicative_depth() >= 3  # degree-7 sigmoid
+
+    def test_db_lookup_structure(self):
+        p = db_lookup(scale=0.2, n=4096)
+        assert p.scheme == "bgv"
+        assert max(op.level for op in p.ops) == 17
+        assert p.multiplicative_depth() >= 10  # Fermat chain
+
+    def test_bgv_bootstrap_structure(self):
+        p = bgv_bootstrapping(scale=0.3, n=4096)
+        assert max(op.level for op in p.ops) == 24  # L_max = 24
+        rotations = [op for op in p.ops if op.kind is OpKind.ROTATE]
+        # Trace ladder amounts are all distinct: no hint reuse.
+        amounts = [op.rotate_steps for op in rotations]
+        assert len(set(amounts)) == len(amounts)
+
+    def test_ckks_bootstrap_fewer_muls_than_bgv(self):
+        """Sec. 7: CKKS bootstrapping has many fewer ciphertext multiplies."""
+        bgv = bgv_bootstrapping(scale=0.3, n=4096)
+        ckks = ckks_bootstrapping(scale=0.3, n=4096)
+        count = lambda p: sum(1 for op in p.ops if op.kind is OpKind.MUL)  # noqa
+        assert count(ckks) < count(bgv) / 2
+
+    def test_scale_grows_workload(self):
+        small = lola_cifar(scale=0.1, n=4096)
+        large = lola_cifar(scale=0.4, n=4096)
+        assert len(large.ops) > len(small.ops)
+
+    def test_suite_contents(self):
+        suite = benchmark_suite(scale=0.1, n=4096)
+        assert set(suite) == {
+            "lola_cifar", "lola_mnist_uw", "lola_mnist_ew",
+            "logistic_regression", "db_lookup",
+            "bgv_bootstrapping", "ckks_bootstrapping",
+        }
+
+    def test_every_program_has_outputs(self):
+        for name, p in benchmark_suite(scale=0.1, n=4096).items():
+            assert any(op.kind is OpKind.OUTPUT for op in p.ops), name
+
+    def test_hint_reuse_profile(self):
+        """MNIST's FC layers reuse rotation hints; the bootstrap ladder does
+        not — the contrast that drives Table 3's speedup spread."""
+        mnist = lola_mnist(scale=0.6, n=4096)
+        boot = bgv_bootstrapping(scale=0.3, n=4096)
+
+        def rotation_reuse(p):
+            from collections import Counter
+            hints = Counter(
+                op.hint_id for op in p.ops
+                if op.hint_id and op.hint_id.startswith("galois")
+            )
+            return max(hints.values())
+
+        assert rotation_reuse(mnist) >= 3       # FC outputs share amounts
+        assert rotation_reuse(boot) == 1        # trace ladder: every amount unique
