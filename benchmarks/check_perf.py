@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""Perf-regression harness for the batched-engine hot paths.
+
+Usage (from the repo root):
+
+    PYTHONPATH=src python benchmarks/check_perf.py            # check vs baseline
+    PYTHONPATH=src python benchmarks/check_perf.py --write    # (re)write baseline
+    PYTHONPATH=src python benchmarks/check_perf.py --tolerance 3.0
+
+Times a fixed set of hot kernels (all-limb NTT, CRT conversions, base
+extension, Listing-1 key switch) and compares each against the recorded
+baseline in ``BENCH_engine.json`` next to this script.  A kernel regresses if
+it is more than ``--tolerance`` times slower than baseline (generous by
+default: baselines travel between machines).  Exits non-zero on regression so
+CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_engine.json"
+DEFAULT_TOLERANCE = 2.5
+
+
+def _kernels():
+    from repro.fhe.bgv import BgvContext
+    from repro.fhe.keyswitch import base_extend, key_switch_v1
+    from repro.fhe.params import FheParams
+    from repro.fhe.sampling import uniform_poly
+    from repro.poly.ntt import get_rns_context
+    from repro.poly.polynomial import Domain, RnsPolynomial
+    from repro.rns.crt import RnsBasis
+    from repro.rns.primes import ntt_friendly_primes
+
+    n, level = 1024, 8
+    rng = np.random.default_rng(17)
+    basis = RnsBasis(ntt_friendly_primes(n, 28, level))
+    ctx = get_rns_context(n, basis.moduli)
+    limbs = np.stack(
+        [rng.integers(0, q, n, dtype=np.uint64) for q in basis.moduli]
+    )
+    evals = ctx.forward(limbs)
+    ints = basis.from_rns(limbs)
+    special = RnsBasis(
+        [p for p in ntt_friendly_primes(n, 27, level + 4) if p not in basis.moduli][
+            :level
+        ]
+    )
+    extended = RnsBasis(basis.moduli + special.moduli)
+    x_coeff = RnsPolynomial(basis, limbs, Domain.COEFF)
+
+    params = FheParams.build(n=256, levels=4, prime_bits=28, plaintext_modulus=256)
+    bgv = BgvContext(params, seed=3)
+    ks_basis = params.basis
+    hint = bgv.hint_v1("relin", ks_basis)
+    ks_x = uniform_poly(ks_basis, params.n, rng, Domain.NTT)
+
+    return {
+        "ntt_forward_all_limb": lambda: ctx.forward(limbs),
+        "ntt_inverse_all_limb": lambda: ctx.inverse(evals),
+        "crt_to_rns_wide": lambda: basis.to_rns(ints),
+        "crt_from_rns": lambda: basis.from_rns(limbs),
+        "base_extend": lambda: base_extend(x_coeff, extended),
+        "key_switch_v1": lambda: key_switch_v1(ks_x, hint),
+    }
+
+
+def _time(fn, *, reps: int = 7) -> float:
+    fn()  # warm caches (twiddle tables, lru caches)
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--write", action="store_true",
+                        help="write the measured times as the new baseline")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="regression threshold (x slower than baseline)")
+    args = parser.parse_args(argv)
+
+    measured = {name: _time(fn) for name, fn in _kernels().items()}
+
+    if args.write:
+        BASELINE_PATH.write_text(
+            json.dumps({k: round(v, 6) for k, v in measured.items()}, indent=2)
+            + "\n"
+        )
+        print(f"baseline written to {BASELINE_PATH}")
+        for name, t in measured.items():
+            print(f"  {name:24s} {t * 1e3:8.3f} ms")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --write first", file=sys.stderr)
+        return 2
+
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failed = []
+    print(f"{'kernel':24s} {'baseline':>10s} {'now':>10s} {'ratio':>7s}")
+    for name, t in measured.items():
+        ref = baseline.get(name)
+        if ref is None:
+            print(f"{name:24s} {'(new)':>10s} {t * 1e3:9.3f}ms      -")
+            continue
+        ratio = t / ref
+        flag = "  REGRESSION" if ratio > args.tolerance else ""
+        print(f"{name:24s} {ref * 1e3:9.3f}ms {t * 1e3:9.3f}ms {ratio:6.2f}x{flag}")
+        if ratio > args.tolerance:
+            failed.append(name)
+    if failed:
+        print(f"\nperf regression in: {', '.join(failed)} "
+              f"(> {args.tolerance}x baseline)", file=sys.stderr)
+        return 1
+    print("\nall kernels within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -89,7 +89,8 @@ class BgvContext:
         wide = phase.to_int_coeffs(centered=True)  # m + t*e, centered mod Q
         t = self.t
         correction = pow(ct.plaintext_scale, -1, t) if t > 1 else 0
-        return np.array([(c * correction) % t for c in wide], dtype=np.int64)
+        wide_arr = np.array(wide, dtype=object)
+        return ((wide_arr * correction) % t).astype(np.int64)
 
     def noise_budget_bits(self, ct: Ciphertext) -> float:
         """Measured log2(Q / (2*|noise|)); decryption fails when <= 0."""
@@ -304,10 +305,12 @@ def _rescale_bgv(poly: RnsPolynomial, t: int) -> RnsPolynomial:
     # |delta| <= q_last*(t+1)/2 < 2^63 for 32-bit q and t <= 2N: int64 is safe.
     delta = u + q_last * w
 
-    out = np.empty((new_basis.level, coeff.n), dtype=np.uint64)
-    for j, q in enumerate(new_basis.moduli):
-        qq = np.uint64(q)
-        delta_mod = np.mod(delta, q).astype(np.uint64)
-        q_last_inv = np.uint64(pow(q_last % q, -1, q))
-        out[j] = ((coeff.limbs[j] + qq - delta_mod) % qq) * q_last_inv % qq
+    # Reduce delta at every remaining modulus in one broadcast op, then do the
+    # subtract-and-exact-divide across the whole (L-1, N) residue matrix.
+    q_col = new_basis.moduli_column()
+    delta_mod = np.remainder(delta[None, :], q_col.astype(np.int64)).astype(np.uint64)
+    inv_col = np.array(
+        [pow(q_last % q, -1, q) for q in new_basis.moduli], dtype=np.uint64
+    ).reshape(-1, 1)
+    out = ((coeff.limbs[:-1] + q_col - delta_mod) % q_col * inv_col) % q_col
     return RnsPolynomial(new_basis, out, Domain.COEFF).to_ntt()

@@ -106,12 +106,14 @@ class BitBootstrapper:
         q1 = ct.basis.moduli[0]
         half = (q1 + 1) // 2  # 2^{-1} mod q1: moves the bit to the top
         scale = (1 << self.d) / q1
-        out = []
-        for poly in (ct.a, ct.b):
-            coeffs = np.array(poly.to_coeff().limbs[0], dtype=np.int64)
-            msb = (coeffs * half) % q1
-            out.append(np.round(msb * scale).astype(np.int64) % (1 << self.d))
-        return out[0], out[1]
+        # Both polynomials in one batched op; uint64 keeps coeff * half exact
+        # for q1 up to 2^32 (int64 would wrap above ~2^31.5-wide primes).
+        coeffs = np.stack(
+            [ct.a.to_coeff().limbs[0], ct.b.to_coeff().limbs[0]]
+        ).astype(np.uint64)
+        msb = (coeffs * np.uint64(half)) % np.uint64(q1)
+        rounded = np.round(msb.astype(np.float64) * scale).astype(np.int64) % (1 << self.d)
+        return rounded[0], rounded[1]
 
     def _homomorphic_phase(self, a_v: np.ndarray, b_v: np.ndarray) -> Ciphertext:
         """u = b - a*s over plaintext modulus 2^e, via the bootstrapping key."""

@@ -66,7 +66,11 @@ class CkksContext(BgvContext):
         return Ciphertext(a=a, b=b, scale=scale, noise_bits=3.0)
 
     def decrypt_values(self, ct: Ciphertext, count: int | None = None) -> np.ndarray:
-        """Decrypt to complex slot values."""
+        """Decrypt to complex slot values.
+
+        The phase reconstruction rides the batched engine (one all-limb INTT
+        plus a vectorized CRT); only the final float conversion is per-value.
+        """
         phase = ct.b - ct.a * self.secret.poly(ct.basis)
         wide = phase.to_int_coeffs(centered=True)
         slots = CkksEncoder(self.params.n, ct.scale).decode(

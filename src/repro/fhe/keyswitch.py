@@ -11,6 +11,13 @@ discussion (the F1 compiler chooses between them based on L and reuse):
   down.  More compute per call (NTTs over ~2L limbs plus two base
   conversions) but hint storage grows only as L.
 
+All inner loops run on the batched (L, N) residue-matrix engine: the L^2
+forward NTTs of variant 1 are issued as L batched all-limb transforms (each
+digit is lifted to every modulus and transformed in one
+:class:`~repro.poly.ntt.RnsNttContext` call, reused across all j), and base
+extension / scale-down broadcast across limbs instead of looping per
+coefficient.
+
 Both return ``(u0, u1)`` such that ``u0 - u1 * s ≈ x * s_old  (mod Q)`` up to
 ``t``-multiple noise.
 """
@@ -20,13 +27,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fhe.keys import KeySwitchHint, RaisedKeySwitchHint
-from repro.poly.ntt import get_context
+from repro.poly.ntt import get_rns_context
 from repro.poly.polynomial import Domain, RnsPolynomial
 from repro.rns.crt import RnsBasis
 
 
 def key_switch_v1(x: RnsPolynomial, hint: KeySwitchHint) -> tuple[RnsPolynomial, RnsPolynomial]:
-    """Listing 1, verbatim: RNS-digit decomposition key switch.
+    """Listing 1: RNS-digit decomposition key switch, batched across limbs.
 
     ``x`` must be NTT-domain at the hint's basis.
     """
@@ -35,27 +42,28 @@ def key_switch_v1(x: RnsPolynomial, hint: KeySwitchHint) -> tuple[RnsPolynomial,
     if x.basis != hint.basis:
         raise ValueError("input basis does not match hint basis")
     basis = x.basis
-    n = x.n
-    level = basis.level
-    moduli = basis.moduli
+    ctx = get_rns_context(x.n, basis.moduli)
+    q_col = basis.moduli_column()
 
-    # y[i] = INTT(x[i], q_i): the digit polynomials, in coefficient form.
-    y = [get_context(n, moduli[i]).inverse(x.limbs[i]) for i in range(level)]
+    # Row i of y is the digit polynomial INTT(x[i], q_i), in coefficient form
+    # — all L inverse NTTs in one batched call.
+    y = ctx.inverse(x.limbs)
 
-    u0 = RnsPolynomial.zeros(basis, n, Domain.NTT)
-    u1 = RnsPolynomial.zeros(basis, n, Domain.NTT)
-    for i in range(level):
-        for j in range(level):
-            if i == j:
-                xqj = x.limbs[i]
-            else:
-                qj = moduli[j]
-                # Lift digit (coefficients in [0, q_i)) and reduce mod q_j.
-                xqj = get_context(n, qj).forward(y[i] % np.uint64(qj))
-            qq = np.uint64(moduli[j])
-            u0.limbs[j] = (u0.limbs[j] + xqj * hint.hint0[i].limbs[j] % qq) % qq
-            u1.limbs[j] = (u1.limbs[j] + xqj * hint.hint1[i].limbs[j] % qq) % qq
-    return u0, u1
+    u0 = np.zeros_like(x.limbs)
+    u1 = np.zeros_like(x.limbs)
+    for i in range(basis.level):
+        # Lift digit i (coefficients in [0, q_i)) to every limb modulus and
+        # forward-transform at all L moduli in one batched NTT; the digit's
+        # NTT matrix is then reused for both hint rows across all j.  (For
+        # j == i this reproduces x.limbs[i] exactly: INTT then NTT round-trips
+        # bit-identically.)
+        digit_ntt = ctx.forward(np.remainder(y[i][None, :], q_col))
+        u0 = (u0 + digit_ntt * hint.hint0[i].limbs % q_col) % q_col
+        u1 = (u1 + digit_ntt * hint.hint1[i].limbs % q_col) % q_col
+    return (
+        RnsPolynomial(basis, u0, Domain.NTT),
+        RnsPolynomial(basis, u1, Domain.NTT),
+    )
 
 
 def key_switch_v2(
@@ -86,26 +94,25 @@ def base_extend(x: RnsPolynomial, extended: RnsBasis) -> RnsPolynomial:
     if x.domain is not Domain.COEFF:
         raise ValueError("base_extend expects a coefficient-domain input")
     basis = x.basis
-    old = set(basis.moduli)
+    old_index = {q: i for i, q in enumerate(basis.moduli)}
     n = x.n
     weights = basis.crt_weights()
-    # Digits: d_i = [x_i * (Q/q_i)^{-1}]_{q_i}, coefficients in [0, q_i).
-    digits = []
-    for i, q in enumerate(basis.moduli):
-        inv = np.uint64(weights[i][1])
-        digits.append((x.limbs[i] * inv) % np.uint64(q))
+    # Digits: d_i = [x_i * (Q/q_i)^{-1}]_{q_i}, coefficients in [0, q_i) —
+    # all limbs in one broadcast op.
+    inv_col = np.array([w[1] for w in weights], dtype=np.uint64).reshape(-1, 1)
+    digits = (x.limbs * inv_col) % basis.moduli_column()
     out = np.empty((extended.level, n), dtype=np.uint64)
     for j, p in enumerate(extended.moduli):
-        if p in old:
-            out[j] = x.limbs[basis.moduli.index(p)]
+        if p in old_index:
+            out[j] = x.limbs[old_index[p]]
             continue
-        acc = np.zeros(n, dtype=np.uint64)
         pp = np.uint64(p)
-        for i, q in enumerate(basis.moduli):
-            q_over_p = np.uint64(weights[i][0] % p)
-            term = (digits[i] % pp) * q_over_p % pp  # keep partials < 2^64
-            acc = (acc + term) % pp
-        out[j] = acc
+        q_over_col = np.array(
+            [w[0] % p for w in weights], dtype=np.uint64
+        ).reshape(-1, 1)
+        # Each term < p < 2^32, so the L-term sum fits in uint64.
+        terms = (digits % pp) * q_over_col % pp
+        out[j] = terms.sum(axis=0) % pp
     return RnsPolynomial(extended, out, Domain.COEFF)
 
 
@@ -135,18 +142,23 @@ def scale_down(
     # Centered value of x mod P, reconstructed exactly (P has few limbs and
     # this is the functional layer — exactness keeps noise analysis clean).
     special_limbs = x.limbs[-n_special:]
-    v_int = special.from_rns(special_limbs, centered=True)
-    # Correction w so that delta = v + P*w ≡ 0 (mod t).
-    p_inv_t = pow(p_product % t, -1, t) if t > 1 else 0
-    v_arr = np.array(v_int, dtype=object)
-    w = np.array([(-vi * p_inv_t) % t for vi in v_int], dtype=object)
-    w = np.where(w > t // 2, w - t, w)  # centered
+    v_arr = np.array(special.from_rns(special_limbs, centered=True), dtype=object)
+    # Correction w so that delta = v + P*w ≡ 0 (mod t); all object-array
+    # ufuncs, no per-coefficient Python loop.
+    if t > 1:
+        p_inv_t = pow(p_product % t, -1, t)
+        w = (-v_arr * p_inv_t) % t
+        w = np.where(w > t // 2, w - t, w)  # centered
+    else:
+        w = np.zeros(n, dtype=object)
     delta = v_arr + p_product * w
 
-    out = np.empty((basis_q.level, n), dtype=np.uint64)
+    qcol = basis_q.moduli_column()
+    delta_mod = np.empty((basis_q.level, n), dtype=np.uint64)
     for j, q in enumerate(q_moduli):
-        p_inv_q = pow(p_product % q, -1, q)
-        delta_mod = np.array([int(d) % q for d in delta], dtype=np.uint64)
-        qq = np.uint64(q)
-        out[j] = ((x.limbs[j] + qq - delta_mod) % qq * np.uint64(p_inv_q)) % qq
+        delta_mod[j] = (delta % q).astype(np.uint64)
+    p_inv_col = np.array(
+        [pow(p_product % q, -1, q) for q in q_moduli], dtype=np.uint64
+    ).reshape(-1, 1)
+    out = ((x.limbs[: basis_q.level] + qcol - delta_mod) % qcol * p_inv_col) % qcol
     return RnsPolynomial(basis_q, out, Domain.COEFF)

@@ -20,10 +20,8 @@ def sample_error(n: int, width: int, rng: np.random.Generator) -> np.ndarray:
 
 
 def small_poly(basis: RnsBasis, coeffs: np.ndarray, domain: Domain = Domain.COEFF) -> RnsPolynomial:
-    """Lift small signed integer coefficients into RNS form."""
-    limbs = np.empty((basis.level, coeffs.shape[0]), dtype=np.uint64)
-    for i, q in enumerate(basis.moduli):
-        limbs[i] = np.mod(coeffs, q).astype(np.uint64)
+    """Lift small signed integer coefficients into RNS form (all limbs at once)."""
+    limbs = basis.to_rns(np.asarray(coeffs, dtype=np.int64))
     poly = RnsPolynomial(basis, limbs, Domain.COEFF)
     return poly.to_ntt() if domain is Domain.NTT else poly
 
@@ -34,8 +32,8 @@ def uniform_poly(basis: RnsBasis, n: int, rng: np.random.Generator, domain: Doma
     Sampling each limb independently and uniformly is exactly uniform over
     R_Q by CRT, and avoids wide-integer work.
     """
-    limbs = np.empty((basis.level, n), dtype=np.uint64)
-    for i, q in enumerate(basis.moduli):
-        limbs[i] = rng.integers(0, q, size=n, dtype=np.uint64)
+    poly = RnsPolynomial.random_uniform(basis, n, rng)
+    if domain is Domain.COEFF:
+        return poly
     # A fresh uniform sample is uniform in either domain; tag as requested.
-    return RnsPolynomial(basis, limbs, domain)
+    return RnsPolynomial(basis, poly.limbs, domain)

@@ -11,7 +11,7 @@ Implements the math the F1 functional units compute (Sec. 5):
   FHE schemes.
 """
 
-from repro.poly.ntt import NttContext
+from repro.poly.ntt import NttContext, RnsNttContext, get_rns_context
 from repro.poly.fourstep import four_step_ntt, four_step_intt
 from repro.poly.automorphism import (
     automorphism_coeff,
@@ -24,6 +24,8 @@ from repro.poly.polynomial import RnsPolynomial
 
 __all__ = [
     "NttContext",
+    "RnsNttContext",
+    "get_rns_context",
     "four_step_ntt",
     "four_step_intt",
     "automorphism_coeff",

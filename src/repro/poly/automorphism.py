@@ -64,6 +64,20 @@ def automorphism_coeff(coeffs: np.ndarray, k: int, q: int) -> np.ndarray:
     return out
 
 
+def automorphism_coeff_rows(matrix: np.ndarray, k: int, q_col: np.ndarray) -> np.ndarray:
+    """Batched :func:`automorphism_coeff`: sigma_k on every row of an (L, N)
+    residue matrix at once, with ``q_col`` the (L, 1) per-row modulus column."""
+    matrix = np.asarray(matrix, dtype=np.uint64)
+    n = matrix.shape[1]
+    k = _check_exponent(n, k)
+    dest, negate = _coeff_permutation(n, k)
+    values = matrix.copy()
+    values[:, negate] = (q_col - values[:, negate]) % q_col
+    out = np.empty_like(values)
+    out[:, dest] = values
+    return out
+
+
 @lru_cache(maxsize=None)
 def automorphism_ntt_permutation(n: int, k: int) -> np.ndarray:
     """Index permutation ``perm`` s.t. ``NTT(sigma_k(a)) = NTT(a)[perm]``.

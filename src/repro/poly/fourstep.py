@@ -22,6 +22,8 @@ bit-exact agreement with :class:`repro.poly.ntt.NttContext`).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.poly.ntt import cyclic_ntt_rows, get_context
@@ -34,6 +36,7 @@ def _split(n: int) -> tuple[int, int]:
     return 1 << log_n1, 1 << (log_n - log_n1)
 
 
+@lru_cache(maxsize=None)
 def _twiddle_matrix(omega: int, n: int, n1: int, n2: int, q: int) -> np.ndarray:
     i1 = np.arange(n1).reshape(n1, 1)
     k2 = np.arange(n2).reshape(1, n2)

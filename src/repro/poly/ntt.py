@@ -8,8 +8,23 @@ root), the negacyclic NTT
 
 linearizes it: ``NTT(a*b) = NTT(a) ⊙ NTT(b)`` with no zero padding.  We
 implement it the standard way — premultiply coefficient i by ``psi^i``, then a
-cyclic radix-2 NTT — with every butterfly stage vectorized in numpy (uint64
-intermediates; products of <32-bit residues fit in 64 bits).
+cyclic radix-2 NTT.
+
+Two execution paths share the same tables:
+
+- :class:`NttContext`: one limb at a time, every butterfly stage vectorized
+  across the N coefficients.
+- :class:`RnsNttContext`: the *batched residue-matrix engine*.  Polynomials in
+  R_Q live as limb-major (L, N) uint64 matrices (one row per RNS limb — the
+  paper's RVecs); the context stacks the per-limb twiddle tables into
+  per-stage (L, half) arrays and the moduli into an (L, 1) broadcast column,
+  so every butterfly stage runs across *all* limbs in a single numpy op.
+  Results are bit-identical to the per-limb path.
+
+Invariant: all arithmetic uses uint64 intermediates, so every modulus must
+satisfy ``q < 2**32`` (products of residues then fit in 64 bits).  Both
+context constructors and :func:`cyclic_ntt_rows` reject wider moduli rather
+than silently wrapping.
 
 Outputs are in natural order, so NTT-domain automorphisms are plain index
 permutations (see :mod:`repro.poly.automorphism`).
@@ -23,6 +38,17 @@ import numpy as np
 
 from repro.rns.primes import primitive_root_of_unity
 
+#: Moduli must stay below this so uint64 butterflies (hi * tw) cannot wrap.
+MAX_MODULUS = 1 << 32
+
+
+def _check_modulus_width(q: int) -> None:
+    if q >= MAX_MODULUS:
+        raise ValueError(
+            f"q = {q} needs {q.bit_length()} bits; moduli must be < 2^32 so "
+            "uint64 butterfly products cannot overflow"
+        )
+
 
 class NttContext:
     """Precomputed tables for length-N negacyclic NTTs modulo prime q."""
@@ -32,6 +58,7 @@ class NttContext:
             raise ValueError(f"N must be a power of two >= 2, got {n}")
         if (q - 1) % (2 * n) != 0:
             raise ValueError(f"q = {q} is not NTT-friendly for N = {n}")
+        _check_modulus_width(q)
         self.n = n
         self.q = q
         self.psi = primitive_root_of_unity(2 * n, q)
@@ -51,31 +78,16 @@ class NttContext:
         self._psi_powers = psi_powers
         self._psi_inv_powers = psi_inv_powers
         self._q_u64 = qq
-        self._stage_twiddles = self._build_stage_twiddles(self.omega)
-        self._stage_twiddles_inv = self._build_stage_twiddles(pow(self.omega, -1, q))
+        self._stage_twiddles = list(_stage_twiddle_tables(n, self.omega, q))
+        self._stage_twiddles_inv = list(
+            _stage_twiddle_tables(n, pow(self.omega, -1, q), q)
+        )
         self._bitrev = _bit_reverse_indices(n)
-
-    def _build_stage_twiddles(self, omega: int) -> list[np.ndarray]:
-        """Per-stage twiddle arrays for the iterative DIT cyclic NTT."""
-        n, q = self.n, self.q
-        tables = []
-        length = 2
-        while length <= n:
-            half = length // 2
-            w = pow(omega, n // length, q)
-            tw = np.empty(half, dtype=np.uint64)
-            acc = 1
-            for i in range(half):
-                tw[i] = acc
-                acc = acc * w % q
-            tables.append(tw)
-            length *= 2
-        return tables
 
     def _cyclic_ntt(self, values: np.ndarray, tables: list[np.ndarray]) -> np.ndarray:
         """In-place-style iterative DIT NTT; input natural, output natural order."""
         q = self._q_u64
-        a = values[self._bitrev].astype(np.uint64, copy=True)
+        a = values[self._bitrev]  # advanced indexing: a fresh uint64 array
         n = self.n
         length = 2
         for tw in tables:
@@ -115,12 +127,99 @@ class NttContext:
         return self.inverse((fa * fb) % self._q_u64)
 
 
+class RnsNttContext:
+    """Batched negacyclic NTT over an RNS basis: (L, N) matrices in one shot.
+
+    Stacks the tables of L per-limb :class:`NttContext` instances:
+
+    - psi twists as (L, N) matrices,
+    - each butterfly stage's twiddles as an (L, 1, half) array, broadcast
+      against the (L, blocks, half) view of the residue matrix,
+    - the moduli as an (L, 1) (or (L, 1, 1)) uint64 column.
+
+    ``forward``/``inverse`` then run every butterfly stage across all limbs in
+    a single numpy op, eliminating the per-limb Python loop.  Outputs are
+    bit-identical to running the per-limb contexts row by row.
+    """
+
+    def __init__(self, n: int, moduli: tuple[int, ...]):
+        self.n = n
+        self.moduli = tuple(moduli)
+        ctxs = [get_context(n, q) for q in self.moduli]
+        self._contexts = ctxs
+        self._q_col = np.array(self.moduli, dtype=np.uint64).reshape(-1, 1)
+        self._q_block = self._q_col[:, :, None]
+        self._psi = np.stack([c._psi_powers for c in ctxs])
+        self._psi_inv = np.stack([c._psi_inv_powers for c in ctxs])
+        self._n_inv = np.array(
+            [c.n_inv for c in ctxs], dtype=np.uint64
+        ).reshape(-1, 1)
+        stages = len(ctxs[0]._stage_twiddles)
+        self._stages_fwd = [
+            np.stack([c._stage_twiddles[s] for c in ctxs])[:, None, :]
+            for s in range(stages)
+        ]
+        self._stages_inv = [
+            np.stack([c._stage_twiddles_inv[s] for c in ctxs])[:, None, :]
+            for s in range(stages)
+        ]
+        self._bitrev = ctxs[0]._bitrev
+
+    @property
+    def level(self) -> int:
+        return len(self.moduli)
+
+    def _check_shape(self, limbs: np.ndarray) -> np.ndarray:
+        limbs = np.asarray(limbs, dtype=np.uint64)
+        if limbs.shape != (len(self.moduli), self.n):
+            raise ValueError(
+                f"expected shape ({len(self.moduli)}, {self.n}), got {limbs.shape}"
+            )
+        return limbs
+
+    def _cyclic(self, limbs: np.ndarray, tables: list[np.ndarray]) -> np.ndarray:
+        level, n = limbs.shape
+        q = self._q_block
+        a = limbs[:, self._bitrev]  # advanced indexing: a fresh uint64 array
+        length = 2
+        for tw in tables:
+            half = length // 2
+            blocks = a.reshape(level, n // length, length)
+            lo = blocks[:, :, :half]
+            hi = blocks[:, :, half:]
+            t = (hi * tw) % q
+            blocks[:, :, half:] = (lo + q - t) % q
+            blocks[:, :, :half] = (lo + t) % q
+            length *= 2
+        return a
+
+    def forward(self, limbs: np.ndarray) -> np.ndarray:
+        """All-limb negacyclic NTT: (L, N) coefficient -> (L, N) evaluation."""
+        limbs = self._check_shape(limbs)
+        twisted = (limbs * self._psi) % self._q_col
+        return self._cyclic(twisted, self._stages_fwd)
+
+    def inverse(self, evals: np.ndarray) -> np.ndarray:
+        """All-limb inverse negacyclic NTT: (L, N) evaluation -> coefficient."""
+        evals = self._check_shape(evals)
+        a = self._cyclic(evals, self._stages_inv)
+        a = (a * self._n_inv) % self._q_col
+        return (a * self._psi_inv) % self._q_col
+
+
 @lru_cache(maxsize=None)
 def get_context(n: int, q: int) -> NttContext:
     """Shared, cached NTT context (tables are expensive to rebuild)."""
     return NttContext(n, q)
 
 
+@lru_cache(maxsize=None)
+def get_rns_context(n: int, moduli: tuple[int, ...]) -> RnsNttContext:
+    """Shared, cached batched context for an RNS basis' moduli tuple."""
+    return RnsNttContext(n, moduli)
+
+
+@lru_cache(maxsize=None)
 def _bit_reverse_indices(n: int) -> np.ndarray:
     bits = n.bit_length() - 1
     idx = np.arange(n)
@@ -131,21 +230,14 @@ def _bit_reverse_indices(n: int) -> np.ndarray:
     return rev
 
 
-def cyclic_ntt_rows(matrix: np.ndarray, omega: int, q: int) -> np.ndarray:
-    """Cyclic NTT of each row of ``matrix`` with the given primitive root.
+@lru_cache(maxsize=None)
+def _stage_twiddle_tables(n: int, omega: int, q: int) -> tuple[np.ndarray, ...]:
+    """Per-stage twiddle arrays for the iterative DIT cyclic NTT.
 
-    Used by the four-step decomposition, which needs sub-NTTs with *specific*
-    roots (powers of the full transform's root).  Iterative radix-2 DIT,
-    natural-order in and out, vectorized across rows.
+    Shared by :class:`NttContext` and :func:`cyclic_ntt_rows` (which used to
+    rebuild these on every call).
     """
-    matrix = np.asarray(matrix, dtype=np.uint64)
-    rows, n = matrix.shape
-    if n == 1:
-        return matrix.copy()
-    if pow(omega, n, q) != 1 or pow(omega, n // 2, q) != q - 1:
-        raise ValueError(f"omega is not a primitive {n}-th root mod {q}")
-    qq = np.uint64(q)
-    a = matrix[:, _bit_reverse_indices(n)].copy()
+    tables = []
     length = 2
     while length <= n:
         half = length // 2
@@ -155,6 +247,31 @@ def cyclic_ntt_rows(matrix: np.ndarray, omega: int, q: int) -> np.ndarray:
         for i in range(half):
             tw[i] = acc
             acc = acc * w % q
+        tables.append(tw)
+        length *= 2
+    return tuple(tables)
+
+
+def cyclic_ntt_rows(matrix: np.ndarray, omega: int, q: int) -> np.ndarray:
+    """Cyclic NTT of each row of ``matrix`` with the given primitive root.
+
+    Used by the four-step decomposition, which needs sub-NTTs with *specific*
+    roots (powers of the full transform's root).  Iterative radix-2 DIT,
+    natural-order in and out, vectorized across rows.  Twiddle tables are
+    cached per (N, omega, q).
+    """
+    _check_modulus_width(q)
+    matrix = np.asarray(matrix, dtype=np.uint64)
+    rows, n = matrix.shape
+    if n == 1:
+        return matrix.copy()
+    if pow(omega, n, q) != 1 or pow(omega, n // 2, q) != q - 1:
+        raise ValueError(f"omega is not a primitive {n}-th root mod {q}")
+    qq = np.uint64(q)
+    a = matrix[:, _bit_reverse_indices(n)]  # fancy indexing already copies
+    length = 2
+    for tw in _stage_twiddle_tables(n, omega, q):
+        half = length // 2
         blocks = a.reshape(rows, n // length, length)
         lo = blocks[:, :, :half]
         hi = blocks[:, :, half:]

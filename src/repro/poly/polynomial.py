@@ -5,6 +5,11 @@ A polynomial in R_Q, stored as an (L, N) uint64 array of residue polynomials
 NTT.  All homomorphic-operation math in :mod:`repro.fhe` is built from the
 element-wise and NTT/automorphism operations here — precisely the primitive
 set F1's functional units implement.
+
+Everything operates on the full (L, N) residue matrix at once: domain
+conversions go through the batched :class:`~repro.poly.ntt.RnsNttContext`
+and element-wise arithmetic broadcasts the basis' (L, 1) modulus column, so
+no hot path iterates limb-by-limb in Python.
 """
 
 from __future__ import annotations
@@ -13,8 +18,8 @@ import enum
 
 import numpy as np
 
-from repro.poly.automorphism import automorphism_coeff, automorphism_ntt
-from repro.poly.ntt import get_context
+from repro.poly.automorphism import automorphism_coeff_rows, automorphism_ntt_permutation
+from repro.poly.ntt import get_rns_context
 from repro.rns.crt import RnsBasis
 
 
@@ -56,26 +61,31 @@ class RnsPolynomial:
 
     @classmethod
     def random_uniform(cls, basis: RnsBasis, n: int, rng: np.random.Generator) -> "RnsPolynomial":
-        """Uniform element of R_Q (sampled consistently across limbs via CRT)."""
-        wide = [int.from_bytes(rng.bytes(16), "little") % basis.modulus for _ in range(n)]
-        return cls.from_int_coeffs(basis, wide)
+        """Uniform element of R_Q.
+
+        Each limb is drawn independently and uniformly from ``[0, q_i)``; by
+        the CRT bijection the joint draw is *exactly* uniform over ``[0, Q)``
+        — and fully vectorized.  (A previous implementation reduced a fixed
+        128-bit draw mod Q, which confines samples to ``[0, 2^128)`` and is
+        badly biased for any basis with log2(Q) > 128.)
+        """
+        limbs = np.stack(
+            [rng.integers(0, q, size=n, dtype=np.uint64) for q in basis.moduli]
+        )
+        return cls(basis, limbs, Domain.COEFF)
 
     # ------------------------------------------------------------ conversions
     def to_ntt(self) -> "RnsPolynomial":
         if self.domain is Domain.NTT:
             return self
-        out = np.empty_like(self.limbs)
-        for i, q in enumerate(self.basis.moduli):
-            out[i] = get_context(self.n, q).forward(self.limbs[i])
-        return RnsPolynomial(self.basis, out, Domain.NTT)
+        ctx = get_rns_context(self.n, self.basis.moduli)
+        return RnsPolynomial(self.basis, ctx.forward(self.limbs), Domain.NTT)
 
     def to_coeff(self) -> "RnsPolynomial":
         if self.domain is Domain.COEFF:
             return self
-        out = np.empty_like(self.limbs)
-        for i, q in enumerate(self.basis.moduli):
-            out[i] = get_context(self.n, q).inverse(self.limbs[i])
-        return RnsPolynomial(self.basis, out, Domain.COEFF)
+        ctx = get_rns_context(self.n, self.basis.moduli)
+        return RnsPolynomial(self.basis, ctx.inverse(self.limbs), Domain.COEFF)
 
     def to_int_coeffs(self, *, centered: bool = True) -> list[int]:
         """CRT-reconstruct the wide integer coefficients (coefficient domain)."""
@@ -90,25 +100,18 @@ class RnsPolynomial:
 
     def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other, "add")
-        out = np.empty_like(self.limbs)
-        for i, q in enumerate(self.basis.moduli):
-            out[i] = (self.limbs[i] + other.limbs[i]) % np.uint64(q)
-        return RnsPolynomial(self.basis, out, self.domain)
+        q = self.basis.moduli_column()
+        return RnsPolynomial(self.basis, (self.limbs + other.limbs) % q, self.domain)
 
     def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other, "sub")
-        out = np.empty_like(self.limbs)
-        for i, q in enumerate(self.basis.moduli):
-            qq = np.uint64(q)
-            out[i] = (self.limbs[i] + qq - other.limbs[i] % qq) % qq
+        q = self.basis.moduli_column()
+        out = (self.limbs + q - other.limbs % q) % q
         return RnsPolynomial(self.basis, out, self.domain)
 
     def __neg__(self) -> "RnsPolynomial":
-        out = np.empty_like(self.limbs)
-        for i, q in enumerate(self.basis.moduli):
-            qq = np.uint64(q)
-            out[i] = (qq - self.limbs[i]) % qq
-        return RnsPolynomial(self.basis, out, self.domain)
+        q = self.basis.moduli_column()
+        return RnsPolynomial(self.basis, (q - self.limbs % q) % q, self.domain)
 
     def __mul__(self, other) -> "RnsPolynomial":
         if isinstance(other, int):
@@ -116,28 +119,25 @@ class RnsPolynomial:
         self._check_compatible(other, "mul")
         if self.domain is not Domain.NTT:
             raise ValueError("polynomial multiply requires NTT domain; call to_ntt()")
-        out = np.empty_like(self.limbs)
-        for i, q in enumerate(self.basis.moduli):
-            out[i] = (self.limbs[i] * other.limbs[i]) % np.uint64(q)
-        return RnsPolynomial(self.basis, out, Domain.NTT)
+        q = self.basis.moduli_column()
+        return RnsPolynomial(self.basis, (self.limbs * other.limbs) % q, Domain.NTT)
 
     __rmul__ = __mul__
 
     def scalar_mul(self, scalar: int) -> "RnsPolynomial":
-        out = np.empty_like(self.limbs)
-        for i, q in enumerate(self.basis.moduli):
-            out[i] = (self.limbs[i] * np.uint64(scalar % q)) % np.uint64(q)
-        return RnsPolynomial(self.basis, out, self.domain)
+        scalar_col = np.array(
+            [scalar % q for q in self.basis.moduli], dtype=np.uint64
+        ).reshape(-1, 1)
+        q = self.basis.moduli_column()
+        return RnsPolynomial(self.basis, (self.limbs * scalar_col) % q, self.domain)
 
     def automorphism(self, k: int) -> "RnsPolynomial":
         """Apply sigma_k in the current domain (permutation either way)."""
-        out = np.empty_like(self.limbs)
         if self.domain is Domain.COEFF:
-            for i, q in enumerate(self.basis.moduli):
-                out[i] = automorphism_coeff(self.limbs[i], k, q)
+            out = automorphism_coeff_rows(self.limbs, k, self.basis.moduli_column())
         else:
-            for i in range(self.basis.level):
-                out[i] = automorphism_ntt(self.limbs[i], k)
+            perm = automorphism_ntt_permutation(self.n, k)
+            out = self.limbs[:, perm]
         return RnsPolynomial(self.basis, out, self.domain)
 
     # ---------------------------------------------------------- basis surgery

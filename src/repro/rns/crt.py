@@ -4,6 +4,18 @@ An :class:`RnsBasis` captures an ordered tuple of distinct primes
 ``(q_1, ..., q_L)`` whose product is the ciphertext modulus ``Q``.  Modulus
 switching drops the last prime, so bases form a chain; :meth:`RnsBasis.drop`
 returns the next basis in the chain.
+
+Batched layout: RNS values are limb-major ``(L, N)`` uint64 matrices (row i
+holds the residues mod ``q_i``), matching the batched NTT engine in
+:mod:`repro.poly.ntt`.  Conversions are vectorized:
+
+- :meth:`RnsBasis.to_rns` reduces machine-width integer arrays with one numpy
+  remainder per limb (object-free for inputs and moduli below 63 bits) and
+  falls back to a Python-int path only for wide inputs;
+- :meth:`RnsBasis.from_rns` computes all CRT digits ``[x_i * (Q/q_i)^{-1}]_{q_i}``
+  in one uint64 op (sound because moduli are < 2^32, the same invariant the
+  NTT engine enforces) and accumulates the wide limb contributions with
+  object-array ufuncs instead of a per-coefficient Python loop.
 """
 
 from __future__ import annotations
@@ -20,7 +32,7 @@ class RnsBasis:
     caches off it.
     """
 
-    __slots__ = ("moduli", "_modulus")
+    __slots__ = ("moduli", "_modulus", "_q_col", "_q_col_i64")
 
     def __init__(self, moduli: tuple[int, ...] | list[int]):
         moduli = tuple(int(q) for q in moduli)
@@ -30,6 +42,12 @@ class RnsBasis:
             raise ValueError("RNS moduli must be distinct")
         self.moduli = moduli
         self._modulus = reduce(lambda a, b: a * b, moduli, 1)
+        if max(moduli) < 1 << 63:
+            self._q_col = np.array(moduli, dtype=np.uint64).reshape(-1, 1)
+            self._q_col_i64 = self._q_col.astype(np.int64)
+        else:  # pathological wide moduli: vectorized fast paths disabled
+            self._q_col = None
+            self._q_col_i64 = None
 
     @property
     def level(self) -> int:
@@ -40,6 +58,12 @@ class RnsBasis:
     def modulus(self) -> int:
         """The wide modulus ``Q`` as a Python integer."""
         return self._modulus
+
+    def moduli_column(self) -> np.ndarray:
+        """The moduli as an (L, 1) uint64 column for broadcast arithmetic."""
+        if self._q_col is None:
+            raise ValueError("moduli too wide for uint64 vectorized arithmetic")
+        return self._q_col
 
     def drop(self, count: int = 1) -> "RnsBasis":
         """Basis after modulus-switching away the last ``count`` primes."""
@@ -54,12 +78,26 @@ class RnsBasis:
     def to_rns(self, coeffs) -> np.ndarray:
         """Reduce integer coefficients (array or list of Python ints) limb-wise.
 
-        Returns an ``(L, N)`` uint64 array.
+        Returns an ``(L, N)`` uint64 array.  Machine-integer inputs take a
+        fully vectorized path (one numpy remainder per limb); wide Python
+        ints fall back to an object-array reduction mod Q first.
         """
-        values = [int(c) % self._modulus for c in coeffs]
-        return np.array(
-            [[v % q for v in values] for q in self.moduli], dtype=np.uint64
-        )
+        arr = np.asarray(coeffs)
+        if arr.dtype.kind in "iu" and self._q_col is not None:
+            if arr.dtype.kind == "u":
+                return np.remainder(
+                    arr.astype(np.uint64)[None, :], self._q_col
+                )
+            # np.remainder takes the divisor's sign: non-negative for q > 0.
+            return np.remainder(
+                arr.astype(np.int64)[None, :], self._q_col_i64
+            ).astype(np.uint64)
+        # Fallback: arbitrary-precision inputs (or >=63-bit moduli).
+        values = np.array([int(c) % self._modulus for c in coeffs], dtype=object)
+        out = np.empty((self.level, values.shape[0]), dtype=np.uint64)
+        for i, q in enumerate(self.moduli):
+            out[i] = (values % q).astype(np.uint64)
+        return out
 
     def from_rns(self, limbs: np.ndarray, *, centered: bool = False) -> list[int]:
         """CRT-reconstruct wide integer coefficients from an ``(L, N)`` array.
@@ -67,23 +105,35 @@ class RnsBasis:
         With ``centered=True`` results lie in ``(-Q/2, Q/2]``, which is what
         decryption needs to recover signed noise terms.
         """
+        limbs = np.asarray(limbs, dtype=np.uint64)
         if limbs.shape[0] != self.level:
             raise ValueError(
                 f"expected {self.level} limbs, got {limbs.shape[0]}"
             )
         weights = self.crt_weights()
         big_q = self._modulus
-        out: list[int] = []
-        for j in range(limbs.shape[1]):
-            acc = 0
-            for i, (q_over, q_over_inv) in enumerate(weights):
-                residue = int(limbs[i, j])
-                acc += q_over * ((residue * q_over_inv) % self.moduli[i])
-            acc %= big_q
-            if centered and acc > big_q // 2:
-                acc -= big_q
-            out.append(acc)
-        return out
+        if self._q_col is not None and max(self.moduli) < 1 << 32:
+            # Digits d_i = [x_i * (Q/q_i)^{-1}]_{q_i} in one uint64 op
+            # (products < 2^64 because q_i < 2^32).
+            inv_col = np.array(
+                [w[1] for w in weights], dtype=np.uint64
+            ).reshape(-1, 1)
+            digits = ((limbs * inv_col) % self._q_col).astype(object)
+        else:
+            digits = np.array(
+                [
+                    [(int(r) * w[1]) % q for r in row]
+                    for row, w, q in zip(limbs, weights, self.moduli)
+                ],
+                dtype=object,
+            ).reshape(self.level, limbs.shape[1])
+        q_over_col = np.array(
+            [w[0] for w in weights], dtype=object
+        ).reshape(-1, 1)
+        acc = (digits * q_over_col).sum(axis=0) % big_q
+        if centered:
+            acc = np.where(acc > big_q // 2, acc - big_q, acc)
+        return [int(c) for c in acc]
 
     def __eq__(self, other) -> bool:
         return isinstance(other, RnsBasis) and self.moduli == other.moduli

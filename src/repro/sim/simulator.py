@@ -107,8 +107,15 @@ def check_schedule(
                 )
 
     # --- 3. HBM bandwidth ----------------------------------------------------
+    # Bandwidth occupancy is taken from each transfer's *recorded* window, not
+    # re-derived from load_cycles (which mis-sized store transfers).  A load's
+    # recorded end additionally includes the fixed HBM access latency, which
+    # does not occupy the channel; subtract it to recover the occupancy end.
     intervals = sorted(
-        (tr.start, tr.start + config.load_cycles(graph.n))
+        (
+            tr.start,
+            tr.end - (config.hbm_latency_cycles if tr.kind == "load" else 0),
+        )
         for tr in schedule.transfers
     )
     for (s0, e0), (s1, _e1) in zip(intervals, intervals[1:]):

@@ -92,6 +92,19 @@ class TestValidation:
         with pytest.raises(ValueError):
             NttContext(100, Q)
 
+    def test_33_bit_modulus_rejected(self):
+        """A >=2^32 prime would silently wrap hi*tw in uint64; must be refused."""
+        q33 = ntt_friendly_primes(N, 33, 1)[0]
+        assert q33 >= 2**32 and (q33 - 1) % (2 * N) == 0  # NTT-friendly, too wide
+        with pytest.raises(ValueError, match="2\\^32"):
+            NttContext(N, q33)
+
+    def test_cyclic_ntt_rows_rejects_wide_modulus(self):
+        q33 = ntt_friendly_primes(16, 33, 1)[0]
+        omega = primitive_root_of_unity(16, q33)
+        with pytest.raises(ValueError, match="2\\^32"):
+            cyclic_ntt_rows(np.zeros((1, 16), dtype=np.uint64), omega, q33)
+
     def test_wrong_shape_rejected(self, ctx):
         with pytest.raises(ValueError):
             ctx.forward(np.zeros(N + 1, dtype=np.uint64))

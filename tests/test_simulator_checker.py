@@ -80,6 +80,46 @@ def test_detects_hbm_oversubscription(pieces):
         assert any("HBM" in v for v in report.violations)
 
 
+def test_store_durations_checked_from_recorded_end(pieces):
+    """Stores must be serialized by their *recorded* end, not load_cycles.
+
+    Regression: the checker used to size every transfer as load_cycles, so a
+    store occupying the channel longer than that slipped past the HBM
+    serialization check."""
+    translation, movement, schedule, cfg = pieces
+    from repro.compiler.cycle_scheduler import ScheduledTransfer
+
+    load_cycles = cfg.load_cycles(translation.graph.n)
+    hacked = dataclasses.replace(schedule)
+    # A store-heavy tail: store0 occupies [1000, 1000 + 3*load_cycles) but the
+    # next store is issued as if it only took load_cycles — a real overlap
+    # that the load_cycles-based check cannot see.
+    hacked.transfers = list(schedule.transfers) + [
+        ScheduledTransfer("store", 9001, 1000.0, 1000.0 + 3 * load_cycles),
+        ScheduledTransfer("store", 9002, 1000.0 + load_cycles,
+                          1000.0 + 2 * load_cycles),
+    ]
+    report = check_schedule(translation.graph, movement, hacked, cfg)
+    assert any("HBM" in v for v in report.violations)
+
+
+def test_store_heavy_schedule_with_correct_spacing_passes(pieces):
+    translation, movement, schedule, cfg = pieces
+    from repro.compiler.cycle_scheduler import ScheduledTransfer
+
+    load_cycles = cfg.load_cycles(translation.graph.n)
+    end = max((tr.end for tr in schedule.transfers), default=0.0)
+    hacked = dataclasses.replace(schedule)
+    # Back-to-back stores of the recorded duration: no overlap, no violation.
+    hacked.transfers = list(schedule.transfers) + [
+        ScheduledTransfer("store", 9001, end + 10, end + 10 + load_cycles),
+        ScheduledTransfer("store", 9002, end + 10 + load_cycles,
+                          end + 10 + 2 * load_cycles),
+    ]
+    report = check_schedule(translation.graph, movement, hacked, cfg)
+    assert report.ok, report.violations[:3]
+
+
 def test_detects_clobber(pieces):
     translation, movement, schedule, cfg = pieces
     hacked_movement = dataclasses.replace(movement)
