@@ -1,22 +1,23 @@
 """Design-space exploration with the static scheduler (Sec. 4.4, Fig. 11).
 
 Because F1's schedules are fully static, the compiler doubles as a
-performance model: changing the architecture description file re-predicts
-performance without RTL.  This example sweeps cluster counts, scratchpad
-banks, and HBM PHYs, printing the performance/area frontier and the
-sensitivity of one benchmark to each resource.
+performance model: changing the architecture description re-predicts
+performance without RTL.  With the backend API this is one line per design
+point — ``repro.run(program, backend=F1Backend(cfg))`` — so this example
+sweeps cluster counts, scratchpad banks, and HBM PHYs, printing the
+performance/area frontier and the sensitivity of one benchmark to each
+resource.
 
 Usage:  python examples/design_space.py
 """
 
-from repro.bench.runner import run_benchmark
+import repro
 from repro.bench.workloads import logistic_regression
 from repro.core.area import area_mm2
-from repro.core.config import F1Config
 
 
-def sweep() -> None:
-    program = logistic_regression(scale=0.15)
+def sweep(scale: float = 0.15) -> None:
+    program = logistic_regression(scale=scale)
     print(f"workload: {program.name} ({len(program.ops)} homomorphic ops)\n")
     print(f"{'config':16s} {'area mm^2':>10s} {'time ms':>9s} {'note'}")
     baseline = None
@@ -27,13 +28,13 @@ def sweep() -> None:
         (16, 16, 2, "the paper's 151 mm^2 design point"),
         (32, 16, 2, "double compute, same memory"),
     ]:
-        cfg = F1Config().scaled(clusters=clusters, banks=banks, phys=phys)
-        result = run_benchmark(program, cfg, check=False)
+        cfg = repro.F1Config().scaled(clusters=clusters, banks=banks, phys=phys)
+        result = repro.run(program, backend=repro.F1Backend(cfg, check=False))
         if baseline is None:
-            baseline = result.f1_ms
+            baseline = result.time_ms
         print(
-            f"{cfg.name:16s} {area_mm2(cfg):10.1f} {result.f1_ms:9.4f} "
-            f"({baseline / result.f1_ms:4.2f}x vs smallest)  {note}"
+            f"{cfg.name:16s} {area_mm2(cfg):10.1f} {result.time_ms:9.4f} "
+            f"({baseline / result.time_ms:4.2f}x vs smallest)  {note}"
         )
     print(
         "\nMemory-bound workloads stop scaling with compute-only growth —\n"

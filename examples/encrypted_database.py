@@ -1,12 +1,13 @@
 """Encrypted database lookup (the paper's DB Lookup benchmark, Sec. 7).
 
-Part 1: a *functional* encrypted equality test with BGV — the core of a
-private key-value lookup: the server learns neither the query nor which
-entry matched.  Uses the Fermat test (x^(t-1) mod t is 1 iff x != 0) over a
-small prime plaintext modulus, evaluated with a square-and-multiply chain of
-homomorphic multiplications.
+Part 1 defines the core of a private key-value lookup once as a DSL
+``Program`` — an encrypted equality test via the Fermat test
+(x^(t-1) mod t is 1 iff x != 0) over a prime plaintext modulus — and runs
+it on the functional backend with real BGV encryption: the server learns
+neither the query nor which entry matched.  The decrypted match vector is
+cross-validated bit-for-bit against the plaintext reference evaluator.
 
-Part 2: compiles the full DB-lookup workload for F1 and reports predicted
+Part 2 compiles the full DB-lookup workload for F1 and reports predicted
 performance.
 
 Usage:  python examples/encrypted_database.py
@@ -14,60 +15,96 @@ Usage:  python examples/encrypted_database.py
 
 import numpy as np
 
+import repro
 from repro.bench.runner import run_benchmark
 from repro.bench.workloads import db_lookup
-from repro.fhe.bgv import BgvContext
+from repro.fhe.encoding import BatchEncoder
 from repro.fhe.params import FheParams
 
 
-def encrypted_equality() -> None:
-    print("=== 1. Encrypted equality test (BGV + SIMD batching, functional) ===")
-    # Slot-wise arithmetic needs the batching encoder: t prime, t ≡ 1 mod 2N.
-    # Fermat: diff^(t-1) is 1 iff diff != 0; with t-1 = 12288 = 3 * 2^12 the
-    # chain is cube + 12 squarings (depth 14) — this is exactly why the
-    # paper's DB-lookup benchmark needs L = 17.
-    from repro.fhe.encoding import BatchEncoder
+def build_equality_program(n: int, t: int) -> repro.Program:
+    """1 - diff^(t-1): 1 at slots where query == key, 0 elsewhere.
 
-    # With 30-bit limbs, BGV noise control needs *two* limb drops per
-    # multiplication (production BGV uses ~55-bit primes, one drop; our
-    # word-sized RNS matches F1's 32-bit datapath), so depth 14 uses 30 limbs.
-    n, t = 256, 12289
-    params = FheParams.build(n=n, levels=30, prime_bits=30, plaintext_modulus=t)
-    ctx = BgvContext(params, seed=2, ks_variant=2)  # low-noise key switching
-    encoder = BatchEncoder(n, t)
+    With 30-bit limbs, BGV noise control needs *two* limb drops per
+    multiplication (production BGV uses ~55-bit primes, one drop; our
+    word-sized RNS matches F1's 32-bit datapath).  Writing t-1 = odd * 2^k,
+    the square-and-multiply chain costs (odd-1) + k multiplications — for
+    the paper's t = 12289 that is cube + 12 squarings (depth 14), which is
+    exactly why the DB-lookup benchmark needs deep parameters.
+    """
+    odd, k = t - 1, 0
+    while odd % 2 == 0:
+        odd //= 2
+        k += 1
+    muls = (odd - 1) + k
+    level = 2 * muls + 2
+
+    p = repro.Program(n=n, name="encrypted_equality")
+    query = p.input(level=level, name="query")
+    keys = p.input(level=level, name="keys")
 
     def level_mul(a, b):
-        return ctx.mod_switch(ctx.mod_switch(ctx.mul(a, b)))
+        # mul without the default single drop, then the two drops 30-bit
+        # limbs require (operand alignment is handled by the DSL).
+        return p.mod_switch(p.mod_switch(p.mul(a, b, rescale=False)))
+
+    diff = p.sub(query, keys)
+    acc = diff
+    for _ in range(odd - 1):
+        acc = level_mul(acc, diff)
+    for _ in range(k):
+        acc = level_mul(acc, acc)
+    # match = 1 - diff^(t-1)
+    match = p.add_plain(
+        p.mul_plain(acc, p.input_plain(acc.level, name="minus_one")),
+        p.input_plain(acc.level, name="one"),
+    )
+    p.output(match, name="match_bits")
+    return p
+
+
+def encrypted_equality(n: int = 256, t: int = 12289) -> None:
+    print("=== 1. Encrypted equality test (BGV + SIMD batching, functional) ===")
+    # Slot-wise arithmetic needs the batching encoder: t prime, t ≡ 1 mod 2N.
+    program = build_equality_program(n, t)
+    level = max(op.level for op in program.ops)
+    encoder = BatchEncoder(n, t)
 
     database_keys = np.array([3, 7, 11, 7, 2] + [0] * (n - 5))
     query_value = 7
-    query = ctx.encrypt(encoder.encode(np.full(n, query_value)))
-    keys = ctx.encrypt(encoder.encode(database_keys))
-
-    diff = ctx.sub(query, keys)
-    square = level_mul(diff, diff)
-    cube = level_mul(square, ctx.mod_switch_to(diff, square.level))
-    acc = cube
-    for _ in range(12):
-        acc = level_mul(acc, acc)
-    # match = 1 - diff^(t-1): 1 at matches, 0 elsewhere.
-    match = ctx.add_plain(
-        ctx.mul_plain(acc, encoder.encode(np.full(n, t - 1))),
-        encoder.encode(np.ones(n, dtype=np.int64)),
+    by_name = {op.name: op.op_id for op in program.ops if op.name}
+    backend = repro.FunctionalBackend(
+        params=FheParams.build(n=n, levels=level, prime_bits=30,
+                               plaintext_modulus=t),
+        seed=2, ks_variant=2,  # low-noise key switching for the deep chain
     )
-    got = encoder.decode(ctx.decrypt(match))[:5]
+    result = repro.run(
+        program,
+        backend=backend,
+        inputs={
+            by_name["query"]: encoder.encode(np.full(n, query_value)),
+            by_name["keys"]: encoder.encode(database_keys),
+        },
+        plains={
+            by_name["minus_one"]: encoder.encode(np.full(n, t - 1)),
+            by_name["one"]: encoder.encode(np.ones(n, dtype=np.int64)),
+        },
+    )
+    got = encoder.decode(result.output_list()[0])[:5]
     expected = (database_keys[:5] == query_value).astype(int)
     print(f"keys        : {database_keys[:5]}")
     print(f"query       : {query_value}")
     print(f"match bits  : {got} (expected {expected})")
-    print(f"noise budget left: {ctx.noise_budget_bits(match):.0f} bits")
+    assert result.stats["validated"]  # bit-equal to the plaintext reference
     assert np.array_equal(got % t, expected % t)
-    print("the server computed the matches without seeing the query\n")
+    print(f"the server computed the matches without seeing the query "
+          f"({sum(result.op_counts.values())} homomorphic ops, depth "
+          f"{program.multiplicative_depth()})\n")
 
 
-def f1_db_lookup() -> None:
+def f1_db_lookup(scale: float = 0.25) -> None:
     print("=== 2. DB Lookup on F1 (performance model) ===")
-    program = db_lookup(scale=0.25)
+    program = db_lookup(scale=scale)
     result = run_benchmark(program)
     traffic = sum(result.compiled.traffic_breakdown_bytes().values())
     print(f"homomorphic ops : {len(program.ops)} at L=17, N=16K")

@@ -1,8 +1,9 @@
 """Private deep-learning inference — the paper's motivating application.
 
-Part 1 runs a real encrypted inference *functionally* with CKKS: a small
-dense layer + square activation on encrypted inputs with plaintext weights
-(LoLa-style), checked against the clear-text computation.
+Part 1 defines a small dense layer + square activation (LoLa-style) once as
+a CKKS ``Program`` and runs it on the functional backend: inputs are
+encrypted, the layer executes homomorphically, and the decrypted result is
+cross-validated against the plaintext reference evaluator.
 
 Part 2 compiles the LoLa-MNIST workload (the paper's benchmark) for F1 and
 reports the predicted latency against the CPU baseline — the paper's
@@ -13,46 +14,46 @@ Usage:  python examples/private_inference.py
 
 import numpy as np
 
+import repro
 from repro.bench.runner import run_benchmark
 from repro.bench.workloads import lola_mnist
-from repro.fhe.ckks import CkksContext
-from repro.fhe.params import FheParams
 
 
-def encrypted_dense_layer() -> None:
-    print("=== 1. Encrypted dense layer (CKKS, functional) ===")
-    n, slots = 512, 256
-    params = FheParams.build(n=n, levels=5, prime_bits=28, plaintext_modulus=1)
-    ctx = CkksContext(params, seed=1)
+def build_dense_layer(n: int, *, level: int = 4) -> repro.Program:
+    """One neuron: weighted inputs, 8-way rotate-add reduction, square."""
+    p = repro.Program(n=n, scheme="ckks", name="dense_layer")
+    x = p.input(level=level, name="activations")
+    w = p.input_plain(level, name="weights")
+    acc = p.mod_switch(p.mul_plain(x, w))        # weighted inputs, rescaled
+    for shift in (1, 2, 4):                      # reduce over 8 slots
+        acc = p.add(acc, p.rotate(acc, shift))
+    p.output(p.mul(acc, acc), name="activated")  # square activation
+    return p
+
+
+def encrypted_dense_layer(n: int = 512) -> None:
+    print("=== 1. Encrypted dense layer (CKKS, functional backend) ===")
+    program = build_dense_layer(n)
+    slots = n // 2
     rng = np.random.default_rng(7)
-
-    inputs = rng.normal(size=slots) * 0.5
-    weights = rng.normal(size=slots) * 0.5
-
-    ct = ctx.encrypt_values(inputs)
-    # Dense neuron: weighted inputs, rotate-add reduction over 8 slots, then
-    # square activation — all on encrypted data.
-    acc = ctx.rescale(ctx.mul_plain(ct, weights))
-    for shift in (1, 2, 4):
-        acc = ctx.add(acc, ctx.rotate(acc, shift))
-    activated = ctx.rescale(ctx.mul(acc, acc))
-
-    got = ctx.decrypt_values(activated, slots).real
-    # Clear-text reference.
-    prod = inputs * weights
-    ref = prod.copy()
-    for shift in (1, 2, 4):
-        ref = ref + np.roll(ref, -shift)
-    ref = ref * ref
-    err = np.max(np.abs(got - ref))
-    print(f"8-way neuron + square activation on ciphertext: max error {err:.2e}")
-    assert err < 1e-2
+    x_op = next(op.op_id for op in program.ops if op.name == "activations")
+    w_op = next(op.op_id for op in program.ops if op.name == "weights")
+    result = repro.run(
+        program,
+        backend=repro.FunctionalBackend("ckks", seed=1),
+        inputs={x_op: rng.normal(size=slots) * 0.5},
+        plains={w_op: rng.normal(size=slots) * 0.5},
+    )
+    err = result.stats["max_error"]
+    print(f"8-way neuron + square activation on ciphertext: "
+          f"max error vs clear-text reference {err:.2e}")
+    assert result.stats["validated"]
     print("matches the clear-text computation\n")
 
 
-def f1_inference_latency() -> None:
+def f1_inference_latency(scale: float = 0.25) -> None:
     print("=== 2. LoLa-MNIST on F1 (performance model) ===")
-    program = lola_mnist(encrypted_weights=False, scale=0.25)
+    program = lola_mnist(encrypted_weights=False, scale=scale)
     result = run_benchmark(program)
     print(f"homomorphic ops    : {len(program.ops)}")
     print(f"F1 latency         : {result.f1_ms:.3f} ms   (paper: 0.17 ms)")

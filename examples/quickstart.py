@@ -1,72 +1,75 @@
-"""Quickstart: encrypted computation with BGV, then the F1 pipeline.
+"""Quickstart: one Program, four execution backends.
 
-Runs in a few seconds:
+The computation (x*y + x) is defined exactly once as a DSL ``Program`` and
+then lowered onto every substrate via ``repro.run``:
 
-1. *Functional layer* — encrypt two vectors, compute (x*y + x) under
-   encryption, decrypt, and check against the plaintext result.
-2. *Accelerator layer* — write the same computation in the F1 DSL, compile it
-   with the three-phase static-scheduling compiler, validate the schedule
-   with the cycle-accurate checker, and report predicted F1 performance
-   against the calibrated CPU baseline.
+1. ``FunctionalBackend`` — real encryption: encrypt the inputs, execute the
+   graph homomorphically (BGV, then CKKS), decrypt, and cross-validate
+   against the plaintext reference evaluator (bit-equal for BGV, within
+   float tolerance for CKKS).
+2. ``F1Backend`` — the three-phase static-scheduling compiler plus the
+   cycle-accurate schedule checker and the calibrated performance model.
+3. ``CpuBackend`` / ``HeaxBackend`` — the analytic software/FPGA baselines.
 
 Usage:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.baselines.cpu import CpuModel
-from repro.compiler.pipeline import compile_program
-from repro.dsl.program import Program
-from repro.fhe.bgv import BgvContext
-from repro.fhe.params import FheParams
-from repro.poly.ntt import naive_negacyclic_multiply
-from repro.sim.simulator import check_schedule
+import repro
 
 
-def functional_demo() -> None:
-    print("=== 1. Functional FHE (BGV) ===")
-    params = FheParams.build(n=512, levels=4, prime_bits=28, plaintext_modulus=256)
-    ctx = BgvContext(params, seed=0)
-    rng = np.random.default_rng(42)
-    x = rng.integers(0, 256, 512)
-    y = rng.integers(0, 256, 512)
-
-    ct_x, ct_y = ctx.encrypt(x), ctx.encrypt(y)
-    print(f"encrypted two vectors at N={params.n}, L={params.level} "
-          f"(logQ={params.log_q})")
-    product = ctx.mod_switch(ctx.mul(ct_x, ct_y))  # standard post-mul switch
-    ct_out = ctx.add(product, ctx.mod_switch_to(ct_x, product.level))
-    result = ctx.decrypt(ct_out)
-
-    expected = (naive_negacyclic_multiply(x, y, 256) + x) % 256
-    assert np.array_equal(result, expected)
-    print(f"decrypt(x*y + x) correct; remaining noise budget "
-          f"{ctx.noise_budget_bits(ct_out):.0f} bits\n")
+def build_program(n: int, *, scheme: str = "bgv", level: int = 8) -> repro.Program:
+    """The quickstart computation — written once, runnable everywhere."""
+    p = repro.Program(n=n, scheme=scheme, name="quickstart")
+    x = p.input(level=level, name="x")
+    y = p.input(level=level, name="y")
+    p.output(p.add(p.mul(x, y), x), name="x*y + x")
+    return p
 
 
-def accelerator_demo() -> None:
-    print("=== 2. The same computation on F1 ===")
-    p = Program(n=16384, name="quickstart")
-    x = p.input(level=8, name="x")
-    y = p.input(level=8, name="y")
-    p.output(p.add(p.mul(x, y), p.mod_switch(x)))
+def functional_demo(n: int = 512) -> None:
+    print("=== 1. Real encryption on the functional backend ===")
+    for scheme in ("bgv", "ckks"):
+        program = build_program(n, scheme=scheme, level=4)
+        result = repro.run(program, backend=repro.FunctionalBackend(scheme))
+        reference = repro.run(program, backend="reference")
+        kind = ("bit-equal to plaintext reference" if scheme == "bgv"
+                else f"max error vs reference {result.stats['max_error']:.1e}")
+        assert result.stats["validated"]
+        assert reference.outputs.keys() == result.outputs.keys()
+        print(f"{scheme:4s}: encrypted, executed {sum(result.op_counts.values())} ops, "
+              f"decrypted — {kind}")
+    print()
 
-    compiled = compile_program(p)
-    report = check_schedule(
-        compiled.translation.graph, compiled.movement, compiled.schedule
-    )
-    report.raise_if_failed()
 
-    cpu_ms = CpuModel().run_program_ms(p)
-    print(f"instructions        : {len(compiled.translation.graph.instructions)}")
-    print(f"schedule validated  : {report.instructions_checked} instrs, "
-          f"{report.transfers_checked} transfers")
-    print(f"F1 predicted time   : {compiled.time_ms:.4f} ms "
-          f"({compiled.makespan} cycles)")
-    print(f"CPU model time      : {cpu_ms:.2f} ms")
-    print(f"speedup             : {cpu_ms / compiled.time_ms:,.0f}x")
+def accelerator_demo(n: int = 16384, level: int = 8) -> None:
+    print("=== 2. The same computation on the modeled hardware backends ===")
+    program = build_program(n, level=level)
+    f1 = repro.run(program, backend="f1")
+    cpu = repro.run(program, backend="cpu")
+    heax = repro.run(program, backend="heax")
+
+    checked = f1.stats["schedule_checked"]
+    print(f"instructions        : {f1.stats['instructions']}")
+    print(f"schedule validated  : {checked['instructions']} instrs, "
+          f"{checked['transfers']} transfers")
+    print(f"F1 predicted time   : {f1.time_ms:.4f} ms "
+          f"({f1.stats['makespan_cycles']} cycles)")
+    print(f"CPU model time      : {cpu.time_ms:.2f} ms "
+          f"({cpu.time_ms / f1.time_ms:,.0f}x slower)")
+    print(f"HEAX-sigma time     : {heax.time_ms:.3f} ms "
+          f"({heax.time_ms / f1.time_ms:,.0f}x slower)")
     print(f"off-chip traffic    : "
-          f"{sum(compiled.traffic_breakdown_bytes().values()) / 1e6:.1f} MB")
+          f"{sum(f1.stats['traffic_bytes'].values()) / 1e6:.1f} MB")
+
+    # Every backend consumed the identical op graph.
+    functional = repro.run(
+        build_program(512, level=level), backend="functional"
+    )
+    assert f1.op_counts == cpu.op_counts == heax.op_counts == functional.op_counts
+    assert f1.distinct_hints == functional.distinct_hints
+    print("op graph identical across f1/cpu/heax/functional backends")
 
 
 if __name__ == "__main__":

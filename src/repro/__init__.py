@@ -12,27 +12,72 @@ Layers, bottom-up:
 - :mod:`repro.compiler` — the three-phase static-scheduling compiler;
 - :mod:`repro.sim` — the cycle-accurate schedule checker and statistics;
 - :mod:`repro.baselines`, :mod:`repro.bench` — CPU/HEAX baselines and the
-  benchmark suite regenerating every table and figure of the evaluation.
+  benchmark suite regenerating every table and figure of the evaluation;
+- :mod:`repro.backends` — the unified execution-backend API tying it all
+  together: write a :class:`Program` once, then ``repro.run`` it on real
+  encryption (:class:`FunctionalBackend`), the cycle-checked accelerator
+  model (:class:`F1Backend`), or the analytic baselines
+  (:class:`CpuBackend`, :class:`HeaxBackend`).
+
+Quick tour::
+
+    import repro
+
+    p = repro.Program(n=512, name="quickstart")
+    x, y = p.input(level=4), p.input(level=4)
+    p.output(p.add(p.mul(x, y), x))
+
+    repro.run(p, backend="functional")   # encrypt/execute/decrypt + validate
+    repro.run(p, backend="f1")           # compile + check + predict time
+    repro.run(p, backend="cpu")          # calibrated software baseline
 """
 
+from repro.backends import (
+    BACKENDS,
+    Backend,
+    CpuBackend,
+    F1Backend,
+    FunctionalBackend,
+    HeaxBackend,
+    ReferenceBackend,
+    RunResult,
+    resolve_backend,
+    run,
+)
 from repro.compiler.pipeline import CompiledProgram, compile_program
 from repro.core.config import F1Config
 from repro.dsl.program import Program
 from repro.fhe.bgv import BgvContext
 from repro.fhe.ckks import CkksContext
+from repro.fhe.context import FheContext
 from repro.fhe.params import FheParams
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.reference import evaluate_reference
 from repro.sim.simulator import check_schedule
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
+    "BACKENDS",
+    "Backend",
     "BgvContext",
     "CkksContext",
     "CompiledProgram",
+    "CpuBackend",
+    "F1Backend",
     "F1Config",
+    "FheContext",
     "FheParams",
+    "FunctionalBackend",
+    "FunctionalSimulator",
+    "HeaxBackend",
     "Program",
+    "ReferenceBackend",
+    "RunResult",
     "check_schedule",
     "compile_program",
+    "evaluate_reference",
+    "resolve_backend",
+    "run",
     "__version__",
 ]

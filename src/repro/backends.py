@@ -1,0 +1,380 @@
+"""Unified execution backends: one ``Program``, many substrates.
+
+The paper's central claim is that a single logical HE program can be lowered
+onto very different execution substrates with identical semantics — a CPU
+baseline, the HEAX FPGA pipeline, or the F1 accelerator.  This module makes
+that the shape of the top-level API: every backend consumes the same
+:class:`~repro.dsl.program.Program` and returns a :class:`RunResult`.
+
+- :class:`FunctionalBackend` — interprets the program op-by-op with *real*
+  encryption (BGV or CKKS), decrypts the outputs, and cross-validates them
+  against the plaintext reference evaluator;
+- :class:`ReferenceBackend` — the plaintext reference evaluator itself
+  (defines program semantics; no encryption);
+- :class:`F1Backend` — the three-phase static-scheduling compiler plus the
+  cycle-accurate schedule checker and performance/traffic statistics;
+- :class:`CpuBackend` / :class:`HeaxBackend` — the calibrated analytic
+  baseline models.
+
+Entry point::
+
+    import repro
+
+    result = repro.run(program, backend="f1")          # or a Backend instance
+    repro.run(program, backend=repro.FunctionalBackend("ckks"))
+
+Every RunResult records the op/hint counts of the graph the backend
+consumed, so functional-vs-compiled cross-checks are one dict comparison.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.baselines.cpu import CpuModel
+from repro.baselines.heax import HeaxModel
+from repro.compiler.pipeline import compile_program
+from repro.core.config import F1Config
+from repro.dsl.program import KS_OPS, OpKind, Program
+from repro.fhe.params import FheParams
+from repro.sim.functional import FunctionalSimulator
+from repro.sim.reference import evaluate_reference
+from repro.sim.simulator import check_schedule
+
+#: default BGV plaintext modulus for generated parameter sets; a power of
+#: two <= 2N keeps modulus switching free of plaintext-scale corrections.
+DEFAULT_PLAINTEXT_MODULUS = 256
+
+
+@dataclass
+class RunResult:
+    """What running a program on some backend produced.
+
+    ``outputs`` holds per-OUTPUT-op decrypted (or reference) value vectors
+    for backends that execute values; analytic/simulated backends leave it
+    empty and report ``time_ms``.  ``op_counts`` / ``distinct_hints``
+    describe the op graph the backend actually consumed, enabling
+    cross-backend graph checks.  ``stats`` carries backend-specific detail.
+    """
+
+    backend: str
+    program: str
+    outputs: dict[int, np.ndarray] = field(default_factory=dict)
+    time_ms: float | None = None
+    op_counts: dict[str, int] = field(default_factory=dict)
+    distinct_hints: int = 0
+    stats: dict = field(default_factory=dict)
+
+    def output_list(self) -> list[np.ndarray]:
+        """Outputs in program order (most programs have exactly one)."""
+        return [self.outputs[k] for k in sorted(self.outputs)]
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """An execution substrate for DSL programs."""
+
+    name: str
+
+    def run(self, program: Program, *, inputs=None, plains=None) -> RunResult:
+        """Execute (or model the execution of) ``program``."""
+        ...
+
+
+def _graph_stats(program: Program) -> tuple[dict[str, int], int]:
+    stats = program.stats()
+    return stats["counts"], stats["distinct_hints"]
+
+
+def default_plaintext_modulus(program: Program) -> int:
+    """Default BGV t for a program: a power of two <= 2N keeps modulus
+    switching free of plaintext-scale corrections at any ring size.  The
+    functional and reference backends share this policy so their generated
+    inputs and mod-t semantics always agree."""
+    return min(DEFAULT_PLAINTEXT_MODULUS, 2 * program.n)
+
+
+def default_inputs(program: Program, *, seed: int = 1234,
+                   plaintext_modulus: int = DEFAULT_PLAINTEXT_MODULUS):
+    """Deterministic random inputs for every INPUT/INPUT_PLAIN op.
+
+    BGV programs get integer vectors mod t; CKKS programs get real slot
+    values in [-1, 1).  Useful when a caller just wants to exercise a
+    program without caring about specific data.
+    """
+    rng = np.random.default_rng(seed)
+    width = program.n // 2 if program.scheme == "ckks" else program.n
+    inputs: dict[int, np.ndarray] = {}
+    plains: dict[int, np.ndarray] = {}
+    for op in program.ops:
+        if op.kind not in (OpKind.INPUT, OpKind.INPUT_PLAIN):
+            continue
+        if program.scheme == "ckks":
+            data = rng.uniform(-1.0, 1.0, width)
+        else:
+            data = rng.integers(0, plaintext_modulus, width)
+        (inputs if op.kind is OpKind.INPUT else plains)[op.op_id] = data
+    return inputs, plains
+
+
+class FunctionalBackend:
+    """Real-encryption interpreter: encrypt inputs, execute, decrypt outputs.
+
+    ``scheme`` defaults to the program's own; ``params`` defaults to a toy
+    parameter set sized to the program (prime_bits-bit primes, one limb per
+    program level).  With ``validate=True`` (the default) the decrypted
+    outputs are checked against the plaintext reference evaluator — exactly
+    for BGV, within ``tolerance`` for CKKS — and a mismatch raises.
+    """
+
+    name = "functional"
+
+    def __init__(self, scheme: str | None = None, *, params: FheParams | None = None,
+                 seed: int = 0, ks_variant: int | None = None,
+                 prime_bits: int = 28, plaintext_modulus: int | None = None,
+                 validate: bool = True, tolerance: float = 1e-2):
+        if scheme not in (None, "bgv", "ckks"):
+            raise ValueError(f"unsupported scheme {scheme!r}")
+        self.scheme = scheme
+        self.params = params
+        self.seed = seed
+        self.ks_variant = ks_variant
+        self.prime_bits = prime_bits
+        self.plaintext_modulus = plaintext_modulus
+        self.validate = validate
+        self.tolerance = tolerance
+
+    def _params_for(self, program: Program, scheme: str) -> FheParams:
+        if self.params is not None:
+            return self.params
+        if scheme == "ckks":
+            t = 1
+        elif self.plaintext_modulus is not None:
+            t = self.plaintext_modulus
+        else:
+            t = default_plaintext_modulus(program)
+        levels = max((op.level for op in program.ops), default=1)
+        return FheParams.build(
+            n=program.n, levels=levels, prime_bits=self.prime_bits,
+            plaintext_modulus=t,
+        )
+
+    def run(self, program: Program, *, inputs=None, plains=None) -> RunResult:
+        scheme = self.scheme or ("ckks" if program.scheme == "ckks" else "bgv")
+        if scheme != program.scheme and not (scheme == "bgv" and program.scheme == "gsw"):
+            # Interpreting a program under the other scheme is legitimate
+            # (the graph is scheme-agnostic) but the program must agree so
+            # rotation/encoding semantics line up.
+            program_scheme = program.scheme
+            raise ValueError(
+                f"FunctionalBackend(scheme={scheme!r}) cannot run a "
+                f"{program_scheme!r} program; rebuild the Program with "
+                f"scheme={scheme!r}"
+            )
+        params = self._params_for(program, scheme)
+        if inputs is None or plains is None:
+            gen_inputs, gen_plains = default_inputs(
+                program, plaintext_modulus=params.plaintext_modulus
+                if scheme == "bgv" else DEFAULT_PLAINTEXT_MODULUS,
+            )
+            inputs = gen_inputs if inputs is None else inputs
+            plains = gen_plains if plains is None else plains
+        sim = FunctionalSimulator(
+            program, params, seed=self.seed, ks_variant=self.ks_variant
+        )
+        start = time.perf_counter()
+        outputs = sim.run(inputs or {}, plains or {})
+        wall_ms = (time.perf_counter() - start) * 1e3
+        stats: dict = {
+            "scheme": scheme,
+            "params": {"n": params.n, "levels": params.level,
+                       "log_q": params.log_q},
+            "time_kind": "measured_wall",
+        }
+        if self.validate:
+            reference = evaluate_reference(
+                program, inputs or {}, plains or {},
+                plaintext_modulus=params.plaintext_modulus,
+            )
+            stats.update(self._validated(scheme, params, outputs, reference))
+        return RunResult(
+            backend=self.name,
+            program=program.name,
+            outputs=outputs,
+            time_ms=wall_ms,
+            op_counts=dict(sim.executed_counts),
+            distinct_hints=len(sim.hints_used),
+            stats=stats,
+        )
+
+    def _validated(self, scheme, params, outputs, reference) -> dict:
+        if outputs.keys() != reference.keys():
+            raise AssertionError("functional and reference outputs disagree on keys")
+        if scheme == "ckks":
+            max_err = 0.0
+            for key, ref in reference.items():
+                got = outputs[key][: ref.shape[0]]
+                max_err = max(max_err, float(np.max(np.abs(got - ref))) if ref.size else 0.0)
+            if max_err > self.tolerance:
+                raise AssertionError(
+                    f"CKKS output error {max_err:.3e} exceeds tolerance "
+                    f"{self.tolerance:.1e}"
+                )
+            return {"validated": True, "max_error": max_err}
+        t = params.plaintext_modulus
+        for key, ref in reference.items():
+            if not np.array_equal(outputs[key] % t, ref % t):
+                raise AssertionError(
+                    f"BGV output {key} does not match the plaintext reference"
+                )
+        return {"validated": True, "max_error": 0.0}
+
+
+class ReferenceBackend:
+    """Plaintext reference evaluator as a backend (defines the semantics)."""
+
+    name = "reference"
+
+    def __init__(self, *, plaintext_modulus: int | None = None):
+        self.plaintext_modulus = plaintext_modulus
+
+    def run(self, program: Program, *, inputs=None, plains=None) -> RunResult:
+        t = self.plaintext_modulus or default_plaintext_modulus(program)
+        if inputs is None or plains is None:
+            gen_inputs, gen_plains = default_inputs(program, plaintext_modulus=t)
+            inputs = gen_inputs if inputs is None else inputs
+            plains = gen_plains if plains is None else plains
+        start = time.perf_counter()
+        outputs = evaluate_reference(
+            program, inputs or {}, plains or {}, plaintext_modulus=t,
+        )
+        wall_ms = (time.perf_counter() - start) * 1e3
+        counts, hints = _graph_stats(program)
+        return RunResult(
+            backend=self.name, program=program.name, outputs=outputs,
+            time_ms=wall_ms, op_counts=counts, distinct_hints=hints,
+            stats={"time_kind": "measured_wall"},
+        )
+
+
+class F1Backend:
+    """The F1 accelerator: compile, check the static schedule, model time."""
+
+    name = "f1"
+
+    def __init__(self, config: F1Config | None = None, *, scheduler: str = "f1",
+                 check: bool = True, ks_choice=None):
+        self.config = config or F1Config()
+        self.scheduler = scheduler
+        self.check = check
+        self.ks_choice = ks_choice
+
+    def run(self, program: Program, *, inputs=None, plains=None) -> RunResult:
+        compiled = compile_program(
+            program, self.config, scheduler=self.scheduler,
+            ks_choice=self.ks_choice,
+        )
+        stats = compiled.summary()
+        stats["traffic_bytes"] = compiled.traffic_breakdown_bytes()
+        stats["config"] = self.config.name
+        stats["compiled"] = compiled
+        stats["time_kind"] = "modeled"
+        if self.check:
+            report = check_schedule(
+                compiled.translation.graph, compiled.movement, compiled.schedule
+            )
+            report.raise_if_failed()
+            stats["schedule_checked"] = {
+                "instructions": report.instructions_checked,
+                "transfers": report.transfers_checked,
+            }
+        counts, hints = _graph_stats(program)
+        return RunResult(
+            backend=self.name, program=program.name, time_ms=compiled.time_ms,
+            op_counts=counts, distinct_hints=hints, stats=stats,
+        )
+
+
+class CpuBackend:
+    """The calibrated multicore CPU software baseline."""
+
+    name = "cpu"
+
+    def __init__(self, threads: int = 1, *, model: CpuModel | None = None,
+                 software_factor: float = 1.0):
+        self.model = model or CpuModel(threads=threads)
+        self.software_factor = software_factor
+
+    def run(self, program: Program, *, inputs=None, plains=None) -> RunResult:
+        time_ms = self.model.run_program_ms(program) * self.software_factor
+        counts, hints = _graph_stats(program)
+        return RunResult(
+            backend=self.name, program=program.name, time_ms=time_ms,
+            op_counts=counts, distinct_hints=hints,
+            stats={"threads": self.model.threads,
+                   "software_factor": self.software_factor,
+                   "time_kind": "modeled"},
+        )
+
+
+class HeaxBackend:
+    """The HEAX-sigma FPGA accelerator baseline."""
+
+    name = "heax"
+
+    def __init__(self, model: HeaxModel | None = None):
+        self.model = model or HeaxModel()
+
+    def run(self, program: Program, *, inputs=None, plains=None) -> RunResult:
+        time_ms = self.model.run_program_ms(program)
+        counts, hints = _graph_stats(program)
+        return RunResult(
+            backend=self.name, program=program.name, time_ms=time_ms,
+            op_counts=counts, distinct_hints=hints,
+            stats={"pipelines": self.model.pipelines, "time_kind": "modeled"},
+        )
+
+
+#: string shorthands accepted by :func:`run`
+BACKENDS = {
+    "functional": FunctionalBackend,
+    "reference": ReferenceBackend,
+    "f1": F1Backend,
+    "cpu": CpuBackend,
+    "heax": HeaxBackend,
+}
+
+
+def resolve_backend(backend) -> Backend:
+    """Accept a Backend instance or one of the names in :data:`BACKENDS`."""
+    if isinstance(backend, str):
+        try:
+            return BACKENDS[backend]()
+        except KeyError:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {sorted(BACKENDS)}"
+            ) from None
+    if isinstance(backend, type):
+        raise TypeError(
+            f"not a backend: {backend!r} is a class — instantiate it, "
+            f"e.g. backend={backend.__name__}()"
+        )
+    if isinstance(backend, Backend):
+        return backend
+    raise TypeError(f"not a backend: {backend!r}")
+
+
+def run(program: Program, backend="f1", *, inputs=None, plains=None) -> RunResult:
+    """Run one program on one backend — the write-once/run-anywhere entry.
+
+    ``backend`` is a :class:`Backend` instance or a name from
+    :data:`BACKENDS` (``"functional"``, ``"reference"``, ``"f1"``, ``"cpu"``,
+    ``"heax"``).  ``inputs``/``plains`` map INPUT / INPUT_PLAIN op ids to
+    value vectors; value-executing backends generate deterministic random
+    data when omitted.
+    """
+    return resolve_backend(backend).run(program, inputs=inputs, plains=plains)

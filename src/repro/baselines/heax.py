@@ -19,6 +19,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.dsl.program import OpKind, Program
+
 
 @dataclass
 class HeaxModel:
@@ -61,3 +63,33 @@ class HeaxModel:
     def homomorphic_perm_ms(self, n: int, level: int) -> float:
         auts = 2 * level * self.limb_aut_cycles(n)
         return self._cycles_to_ms(auts + self.keyswitch_cycles(n, level))
+
+    # -------------------------------------------------------- program model
+    def he_op_ms(self, kind: OpKind, n: int, level: int) -> float:
+        """Cost of one homomorphic op, composed from the pipeline primitives
+        the same way :meth:`repro.baselines.cpu.CpuModel.he_op_ns` composes
+        its CPU primitives (HEAX has no per-op software overhead term)."""
+        if kind is OpKind.MUL:
+            return self.homomorphic_mul_ms(n, level)
+        if kind is OpKind.ROTATE:
+            return self.homomorphic_perm_ms(n, level)
+        if kind in (OpKind.ADD, OpKind.SUB):
+            return self._cycles_to_ms(2 * level * self.limb_elementwise_cycles(n))
+        if kind is OpKind.ADD_PLAIN:
+            return self._cycles_to_ms(level * self.limb_elementwise_cycles(n))
+        if kind is OpKind.MUL_PLAIN:
+            return self._cycles_to_ms(2 * level * self.limb_elementwise_cycles(n))
+        if kind is OpKind.MOD_SWITCH:
+            ntts = 2 * (1 + level)
+            elementwise = 2 * level
+            return self._cycles_to_ms(
+                ntts * self.limb_ntt_cycles(n)
+                + elementwise * self.limb_elementwise_cycles(n)
+            )
+        return 0.0
+
+    def run_program_ms(self, program: Program) -> float:
+        """Total time over a DSL program's op graph (sequential pipelines)."""
+        return sum(
+            self.he_op_ms(op.kind, program.n, op.level) for op in program.ops
+        )

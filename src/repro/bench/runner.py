@@ -11,6 +11,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.backends import CpuBackend, F1Backend
 from repro.baselines.cpu import CpuModel
 from repro.baselines.heax import HeaxModel
 from repro.bench.micro import MICRO_PARAM_SETS, level_for_log_q, microbenchmark_f1_ns
@@ -19,7 +20,6 @@ from repro.compiler.pipeline import CompiledProgram, compile_program
 from repro.core.area import area_mm2
 from repro.core.config import F1Config
 from repro.dsl.program import Program
-from repro.sim.simulator import check_schedule
 from repro.sim.stats import power_breakdown, traffic_fractions, utilization_timeline
 
 #: Table 3 paper reference speedups (for EXPERIMENTS.md comparison).
@@ -86,18 +86,22 @@ def run_benchmark(
     scheduler: str = "f1",
     check: bool = True,
 ) -> BenchmarkResult:
-    compiled = compile_program(program, config, scheduler=scheduler)
-    if check:
-        report = check_schedule(
-            compiled.translation.graph, compiled.movement, compiled.schedule
-        )
-        report.raise_if_failed()
-    cpu = CpuModel(threads=CPU_THREADS.get(program.name, 1))
-    factor = CPU_SOFTWARE_FACTOR.get(program.name, 1.0)
+    """Run one workload on the F1 and CPU backends and pair the results.
+
+    This is per-backend plumbing over :mod:`repro.backends`: the F1 side
+    compiles/checks/models through :class:`F1Backend`, the CPU side through
+    :class:`CpuBackend` with the paper's thread counts and software-stack
+    efficiency factors applied.
+    """
+    f1 = F1Backend(config, scheduler=scheduler, check=check).run(program)
+    cpu = CpuBackend(
+        threads=CPU_THREADS.get(program.name, 1),
+        software_factor=CPU_SOFTWARE_FACTOR.get(program.name, 1.0),
+    ).run(program)
     return BenchmarkResult(
         name=program.name,
-        compiled=compiled,
-        cpu_ms=cpu.run_program_ms(program) * factor,
+        compiled=f1.stats["compiled"],
+        cpu_ms=cpu.time_ms,
         checked=check,
     )
 

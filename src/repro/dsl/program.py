@@ -94,9 +94,19 @@ class Program:
         self.ops: list[HeOp] = []
 
     # ------------------------------------------------------------- builders
-    def _append(self, kind: OpKind, args: tuple[int, ...], level: int, **kw) -> CtHandle:
-        op = HeOp(op_id=len(self.ops), kind=kind, args=args, level=level, **kw)
-        for a in args:
+    def _check_handle(self, h: "CtHandle") -> "CtHandle":
+        if h.program is not self:
+            raise ValueError(
+                f"handle for op {h.op_id} belongs to program "
+                f"{h.program.name!r}, not {self.name!r}; ops cannot "
+                f"reference values from another Program"
+            )
+        return h
+
+    def _append(self, kind: OpKind, args: tuple["CtHandle", ...], level: int, **kw) -> CtHandle:
+        arg_ids = tuple(self._check_handle(h).op_id for h in args)
+        op = HeOp(op_id=len(self.ops), kind=kind, args=arg_ids, level=level, **kw)
+        for a in arg_ids:
             self.ops[a].users.append(op.op_id)
         self.ops.append(op)
         return CtHandle(self, op.op_id)
@@ -112,7 +122,7 @@ class Program:
         return self._append(OpKind.INPUT_PLAIN, (), level, name=name)
 
     def _level_of(self, h: CtHandle) -> int:
-        return self.ops[h.op_id].level
+        return self.ops[self._check_handle(h).op_id].level
 
     def _align(self, x: CtHandle, y: CtHandle) -> tuple[CtHandle, CtHandle]:
         """Mod-switch the higher-level operand down to match the lower."""
@@ -127,11 +137,11 @@ class Program:
 
     def add(self, x: CtHandle, y: CtHandle) -> CtHandle:
         x, y = self._align(x, y)
-        return self._append(OpKind.ADD, (x.op_id, y.op_id), x.level)
+        return self._append(OpKind.ADD, (x, y), x.level)
 
     def sub(self, x: CtHandle, y: CtHandle) -> CtHandle:
         x, y = self._align(x, y)
-        return self._append(OpKind.SUB, (x.op_id, y.op_id), x.level)
+        return self._append(OpKind.SUB, (x, y), x.level)
 
     def mul(self, x: CtHandle, y: CtHandle, *, rescale: bool = True) -> CtHandle:
         """Homomorphic multiply; by default mod-switches the result.
@@ -140,7 +150,7 @@ class Program:
         shared level, then drop one limb to shed the noise blowup.
         """
         x, y = self._align(x, y)
-        out = self._append(OpKind.MUL, (x.op_id, y.op_id), x.level)
+        out = self._append(OpKind.MUL, (x, y), x.level)
         if rescale and out.level > 1:
             out = self.mod_switch(out)
         return out
@@ -152,29 +162,29 @@ class Program:
         """Multiply by an unencrypted vector (declares one if not given)."""
         if weights is None:
             weights = self.input_plain(self._level_of(x))
-        return self._append(OpKind.MUL_PLAIN, (x.op_id, weights.op_id), x.level)
+        return self._append(OpKind.MUL_PLAIN, (x, weights), x.level)
 
     def add_plain(self, x: CtHandle, values: CtHandle | None = None) -> CtHandle:
         if values is None:
             values = self.input_plain(self._level_of(x))
-        return self._append(OpKind.ADD_PLAIN, (x.op_id, values.op_id), x.level)
+        return self._append(OpKind.ADD_PLAIN, (x, values), x.level)
 
     def rotate(self, x: CtHandle, steps: int) -> CtHandle:
         """Homomorphic rotation (automorphism + key switch)."""
         if steps == 0:
-            return x
+            return self._check_handle(x)
         return self._append(
-            OpKind.ROTATE, (x.op_id,), self._level_of(x), rotate_steps=steps
+            OpKind.ROTATE, (x,), self._level_of(x), rotate_steps=steps
         )
 
     def mod_switch(self, x: CtHandle) -> CtHandle:
         level = self._level_of(x)
         if level <= 1:
             raise ValueError("cannot mod-switch below one limb")
-        return self._append(OpKind.MOD_SWITCH, (x.op_id,), level - 1)
+        return self._append(OpKind.MOD_SWITCH, (x,), level - 1)
 
     def output(self, x: CtHandle, name: str = "") -> CtHandle:
-        return self._append(OpKind.OUTPUT, (x.op_id,), self._level_of(x), name=name)
+        return self._append(OpKind.OUTPUT, (x,), self._level_of(x), name=name)
 
     # ------------------------------------------------------------ utilities
     def inner_sum(self, x: CtHandle) -> CtHandle:

@@ -20,6 +20,7 @@ accelerates: element-wise modular add/mult, NTTs, and automorphisms.
 
 from repro.fhe.params import FheParams
 from repro.fhe.ciphertext import Ciphertext
+from repro.fhe.context import FheContext
 from repro.fhe.bgv import BgvContext
 from repro.fhe.ckks import CkksContext
 from repro.fhe.gsw import GswContext
@@ -29,6 +30,7 @@ from repro.fhe.bootstrap import BitBootstrapper
 __all__ = [
     "FheParams",
     "Ciphertext",
+    "FheContext",
     "BgvContext",
     "CkksContext",
     "GswContext",

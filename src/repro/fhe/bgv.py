@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.fhe import noise as noise_model
 from repro.fhe.ciphertext import Ciphertext
+from repro.fhe.context import FheContext
 from repro.fhe.keys import (
     KeySwitchHint,
     RaisedKeySwitchHint,
@@ -33,8 +34,10 @@ def rotation_exponent(steps: int, n: int) -> int:
     return pow(3, steps, 2 * n)
 
 
-class BgvContext:
+class BgvContext(FheContext):
     """Keys plus homomorphic operations for one BGV parameter set."""
+
+    scheme = "bgv"
 
     def __init__(self, params: FheParams, *, seed: int = 0, ks_variant: int = 1,
                  secret: SecretKey | None = None):
@@ -91,6 +94,19 @@ class BgvContext:
         correction = pow(ct.plaintext_scale, -1, t) if t > 1 else 0
         wide_arr = np.array(wide, dtype=object)
         return ((wide_arr * correction) % t).astype(np.int64)
+
+    # Unified FheContext surface (see repro.fhe.context): BGV's historical
+    # names are the implementations; these are the scheme-agnostic aliases.
+    def encrypt_values(self, values, *, level: int | None = None,
+                       scale: float | None = None) -> Ciphertext:
+        return self.encrypt(values, level=level)
+
+    def decrypt_values(self, ct: Ciphertext, count: int | None = None) -> np.ndarray:
+        out = self.decrypt(ct)
+        return out[:count] if count is not None else out
+
+    def rescale(self, ct: Ciphertext) -> Ciphertext:
+        return self.mod_switch(ct)
 
     def noise_budget_bits(self, ct: Ciphertext) -> float:
         """Measured log2(Q / (2*|noise|)); decryption fails when <= 0."""

@@ -34,7 +34,14 @@ class CkksContext(BgvContext):
 
     The plaintext modulus of the underlying machinery is forced to 1 so that
     hint errors and rescaling corrections enter without a ``t`` factor.
+
+    ``encrypt_values`` / ``decrypt_values`` / ``rescale`` are CKKS's native
+    spellings of the unified :class:`~repro.fhe.context.FheContext` surface
+    (``mod_switch`` here is the value-preserving CKKS "mod down", *not* the
+    level-management step a DSL MOD_SWITCH lowers to — that is ``rescale``).
     """
+
+    scheme = "ckks"
 
     def __init__(self, params: FheParams, *, scale: float | None = None, seed: int = 0, ks_variant: int = 2):
         # Variant 2 (raised modulus) is the CKKS default: the Listing-1
@@ -76,7 +83,7 @@ class CkksContext(BgvContext):
         slots = CkksEncoder(self.params.n, ct.scale).decode(
             np.array(wide, dtype=np.float64)
         )
-        return slots[:count] if count else slots
+        return slots[:count] if count is not None else slots
 
     # --------------------------------------------------------------- HE ops
     def add(self, ct0: Ciphertext, ct1: Ciphertext) -> Ciphertext:
@@ -149,5 +156,7 @@ class CkksContext(BgvContext):
     def _check_ckks_pair(self, ct0: Ciphertext, ct1: Ciphertext, op: str) -> None:
         if ct0.basis != ct1.basis:
             raise ValueError(f"{op}: levels differ; rescale/mod_switch first")
-        if not np.isclose(ct0.scale, ct1.scale, rtol=1e-9):
+        # Addition needs matching scales; multiplication does not — the
+        # result's scale is simply the product of the operand scales.
+        if op in ("add", "sub") and not np.isclose(ct0.scale, ct1.scale, rtol=1e-9):
             raise ValueError(f"{op}: scales differ ({ct0.scale} vs {ct1.scale})")

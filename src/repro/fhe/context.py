@@ -1,0 +1,85 @@
+"""Scheme-agnostic FHE context interface.
+
+BGV and CKKS differ in how plaintexts ride inside the ring (integers mod t
+vs. fixed-point at scale Delta) but expose the same homomorphic-operation
+surface — which is why a single DSL :class:`~repro.dsl.program.Program` can
+be interpreted against either scheme, and why F1 runs both on one substrate.
+:class:`FheContext` names that shared surface:
+
+- ``encrypt_values`` / ``decrypt_values`` — scheme-appropriate encode +
+  (de)encrypt of a slot/coefficient vector;
+- ``add`` / ``sub`` / ``mul`` / ``mul_plain`` / ``add_plain`` / ``rotate`` —
+  the homomorphic ops of the DSL;
+- ``rescale`` — the per-scheme noise/level management step a DSL
+  ``MOD_SWITCH`` lowers to (BGV modulus switching, CKKS rescaling).
+
+The historical per-scheme names (BGV ``encrypt``/``decrypt``/``mod_switch``,
+CKKS ``encrypt_values``/``decrypt_values``/``rescale``) remain available on
+the concrete contexts; the unified names are thin aliases where the scheme
+already had its own spelling.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.fhe.ciphertext import Ciphertext
+
+
+class FheContext(abc.ABC):
+    """The homomorphic-operation surface shared by all schemes.
+
+    Concrete contexts (:class:`~repro.fhe.bgv.BgvContext`,
+    :class:`~repro.fhe.ckks.CkksContext`) implement these; backends that
+    interpret DSL programs (:class:`repro.backends.FunctionalBackend`)
+    program against exactly this interface and nothing scheme-specific.
+    """
+
+    #: scheme tag matching :attr:`repro.dsl.program.Program.scheme`
+    scheme: str = ""
+
+    # ----------------------------------------------------------- encryption
+    @abc.abstractmethod
+    def encrypt_values(self, values, *, level: int | None = None,
+                       scale: float | None = None) -> Ciphertext:
+        """Encode and encrypt a vector of scheme-native values.
+
+        BGV encodes integers mod t into coefficients (``scale`` is ignored);
+        CKKS encodes complex/real slot values at scale Delta.
+        """
+
+    @abc.abstractmethod
+    def decrypt_values(self, ct: Ciphertext, count: int | None = None) -> np.ndarray:
+        """Decrypt and decode back to values (first ``count`` if given)."""
+
+    # --------------------------------------------------------------- HE ops
+    @abc.abstractmethod
+    def add(self, ct0: Ciphertext, ct1: Ciphertext) -> Ciphertext: ...
+
+    @abc.abstractmethod
+    def sub(self, ct0: Ciphertext, ct1: Ciphertext) -> Ciphertext: ...
+
+    @abc.abstractmethod
+    def mul(self, ct0: Ciphertext, ct1: Ciphertext) -> Ciphertext: ...
+
+    @abc.abstractmethod
+    def mul_plain(self, ct: Ciphertext, values) -> Ciphertext: ...
+
+    @abc.abstractmethod
+    def add_plain(self, ct: Ciphertext, values) -> Ciphertext: ...
+
+    @abc.abstractmethod
+    def rotate(self, ct: Ciphertext, steps: int) -> Ciphertext: ...
+
+    @abc.abstractmethod
+    def rescale(self, ct: Ciphertext) -> Ciphertext:
+        """Drop one RNS limb with the scheme's noise/scale management."""
+
+    # ------------------------------------------------------------ utilities
+    def rescale_to(self, ct: Ciphertext, level: int) -> Ciphertext:
+        """Rescale down until the ciphertext sits at ``level`` limbs."""
+        while ct.level > level:
+            ct = self.rescale(ct)
+        return ct

@@ -14,6 +14,7 @@
 from repro.sim.simulator import CheckReport, check_schedule
 from repro.sim.stats import power_breakdown, utilization_timeline
 from repro.sim.functional import FunctionalSimulator
+from repro.sim.reference import evaluate_reference
 
 __all__ = [
     "CheckReport",
@@ -21,4 +22,5 @@ __all__ = [
     "power_breakdown",
     "utilization_timeline",
     "FunctionalSimulator",
+    "evaluate_reference",
 ]

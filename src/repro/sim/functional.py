@@ -1,10 +1,20 @@
 """Functional simulator (Sec. 8.5): executes DSL programs with real FHE math.
 
-Runs a :class:`~repro.dsl.program.Program` on actual ciphertexts using the
-BGV or CKKS contexts from :mod:`repro.fhe`, verifying input-output
-correctness of the homomorphic-operation graph the compiler schedules.  This
-mirrors the paper's C++/NTL functional simulator: "this allows one to verify
-correctness of FHE algorithms and to create a dataflow graph".
+Runs a :class:`~repro.dsl.program.Program` on actual ciphertexts, verifying
+input-output correctness of the homomorphic-operation graph the compiler
+schedules.  This mirrors the paper's C++/NTL functional simulator: "this
+allows one to verify correctness of FHE algorithms and to create a dataflow
+graph".
+
+The interpreter is scheme-agnostic: it drives the unified
+:class:`~repro.fhe.context.FheContext` surface (``encrypt_values`` /
+``decrypt_values`` / ``rescale`` / the shared HE ops), so the same loop
+executes BGV and CKKS programs.  The only scheme-aware pieces are the scale
+managers: CKKS additions require operands at one scale Delta, and BGV
+additions require one accumulated plaintext-scale factor, so mismatched
+operands are aligned with a plaintext-constant multiplication before the op
+(standard CKKS practice; a no-op for power-of-two ``t ≤ 2N`` BGV, where the
+factor is always 1).
 
 Programs compiled for the performance model typically use N = 16K; the
 functional simulator accepts any power-of-two N, so tests run the *same
@@ -14,19 +24,30 @@ N = 1024...16384).
 
 from __future__ import annotations
 
+import math
+from dataclasses import replace
+
 import numpy as np
 
-from repro.dsl.program import OpKind, Program
+from repro.dsl.program import KS_OPS, OpKind, Program
 from repro.fhe.bgv import BgvContext
-from repro.fhe.ckks import CkksContext
 from repro.fhe.ciphertext import Ciphertext
+from repro.fhe.ckks import CkksContext
+from repro.fhe.context import FheContext
 from repro.fhe.params import FheParams
 
 
 class FunctionalSimulator:
-    """Executes a program's homomorphic ops on real ciphertexts."""
+    """Executes a program's homomorphic ops on real ciphertexts.
 
-    def __init__(self, program: Program, params: FheParams, *, seed: int = 0):
+    After :meth:`run`, :attr:`executed_counts` holds the per-kind count of
+    program ops consumed and :attr:`hints_used` the distinct key-switch
+    hints, so callers can cross-check that other backends (e.g. the F1
+    compiler) consumed the exact same graph.
+    """
+
+    def __init__(self, program: Program, params: FheParams, *, seed: int = 0,
+                 ks_variant: int | None = None, context: FheContext | None = None):
         if program.n != params.n:
             raise ValueError(
                 f"program N={program.n} does not match params N={params.n}"
@@ -38,41 +59,58 @@ class FunctionalSimulator:
             )
         self.program = program
         self.params = params
-        if program.scheme == "ckks":
-            self.ctx: BgvContext = CkksContext(params, seed=seed)
+        if context is not None:
+            ctx_params = getattr(context, "params", None)
+            if ctx_params is not None and ctx_params.n != program.n:
+                raise ValueError(
+                    f"injected context has N={ctx_params.n}; "
+                    f"program has N={program.n}"
+                )
+            if context.scheme and context.scheme != program.scheme and not (
+                context.scheme == "bgv" and program.scheme == "gsw"
+            ):
+                raise ValueError(
+                    f"injected {context.scheme} context cannot run a "
+                    f"{program.scheme} program"
+                )
+            self.ctx: FheContext = context
+        elif program.scheme == "ckks":
+            kw = {"ks_variant": ks_variant} if ks_variant else {}
+            self.ctx = CkksContext(params, seed=seed, **kw)
         else:
-            self.ctx = BgvContext(params, seed=seed)
+            self.ctx = BgvContext(params, seed=seed, ks_variant=ks_variant or 1)
+        self.executed_counts: dict[str, int] = {}
+        self.hints_used: set[str] = set()
 
     def run(self, inputs: dict[int, np.ndarray], plains: dict[int, np.ndarray] | None = None) -> dict[int, np.ndarray]:
         """Execute; returns decrypted outputs keyed by OUTPUT op id.
 
-        ``inputs`` maps INPUT op ids to plaintext vectors; ``plains`` maps
+        ``inputs`` maps INPUT op ids to value vectors; ``plains`` maps
         INPUT_PLAIN op ids to unencrypted vectors.
         """
         plains = plains or {}
         ctx = self.ctx
-        is_ckks = self.program.scheme == "ckks"
+        self.executed_counts = {}
+        self.hints_used = set()
         env: dict[int, Ciphertext] = {}
         plain_env: dict[int, np.ndarray] = {}
         outputs: dict[int, np.ndarray] = {}
         for op in self.program.ops:
             kind = op.kind
+            self.executed_counts[kind.value] = self.executed_counts.get(kind.value, 0) + 1
+            if kind in KS_OPS:
+                self.hints_used.add(op.hint_id)
             if kind is OpKind.INPUT:
                 if op.op_id not in inputs:
                     raise KeyError(f"missing value for input op {op.op_id}")
-                data = inputs[op.op_id]
-                if is_ckks:
-                    env[op.op_id] = ctx.encrypt_values(data, level=op.level)
-                else:
-                    env[op.op_id] = ctx.encrypt(data, level=op.level)
+                env[op.op_id] = ctx.encrypt_values(inputs[op.op_id], level=op.level)
             elif kind is OpKind.INPUT_PLAIN:
                 plain_env[op.op_id] = np.asarray(
                     plains.get(op.op_id, np.ones(1))
                 )
-            elif kind is OpKind.ADD:
-                env[op.op_id] = ctx.add(env[op.args[0]], env[op.args[1]])
-            elif kind is OpKind.SUB:
-                env[op.op_id] = ctx.sub(env[op.args[0]], env[op.args[1]])
+            elif kind in (OpKind.ADD, OpKind.SUB):
+                x, y = self._matched_scales(env[op.args[0]], env[op.args[1]])
+                env[op.op_id] = (ctx.add if kind is OpKind.ADD else ctx.sub)(x, y)
             elif kind is OpKind.MUL:
                 env[op.op_id] = ctx.mul(env[op.args[0]], env[op.args[1]])
             elif kind is OpKind.MUL_PLAIN:
@@ -86,17 +124,77 @@ class FunctionalSimulator:
             elif kind is OpKind.ROTATE:
                 env[op.op_id] = ctx.rotate(env[op.args[0]], op.rotate_steps)
             elif kind is OpKind.MOD_SWITCH:
-                if is_ckks:
-                    env[op.op_id] = ctx.rescale(env[op.args[0]])
-                else:
-                    env[op.op_id] = ctx.mod_switch(env[op.args[0]])
+                env[op.op_id] = self._level_drop(env[op.args[0]])
             elif kind is OpKind.OUTPUT:
                 ct = env[op.args[0]]
                 env[op.op_id] = ct
-                if is_ckks:
-                    outputs[op.op_id] = ctx.decrypt_values(ct)
-                else:
-                    outputs[op.op_id] = ctx.decrypt(ct)
+                outputs[op.op_id] = ctx.decrypt_values(ct)
             else:
                 raise ValueError(f"unhandled op kind {kind}")
         return outputs
+
+    # --------------------------------------------------- scale alignment
+    def _level_drop(self, ct: Ciphertext) -> Ciphertext:
+        """Lower a DSL MOD_SWITCH: per-scheme limb drop.
+
+        BGV modulus switching always preserves the plaintext.  CKKS has two
+        limb-dropping ops and the right one depends on where the scale sits:
+        *rescaling* divides the scale by q_last (correct after a multiply,
+        where the scale is ~Delta^2), but applied to a fresh ciphertext at
+        scale ~Delta it would sink the message below the noise.  There the
+        value-preserving "mod down" is the correct lowering.  The waterline
+        is sqrt(Delta): rescale only while the result keeps that much scale.
+        """
+        ctx = self.ctx
+        if isinstance(ctx, CkksContext):
+            q_last = ct.basis.moduli[-1]
+            if ct.scale / q_last < math.sqrt(ctx.default_scale):
+                return ctx.mod_switch(ct)
+        return ctx.rescale(ct)
+
+    def _matched_scales(self, ct0: Ciphertext, ct1: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
+        """Bring two addends to a common scale before add/sub.
+
+        Program-level alignment guarantees matching *levels*; scales can
+        still diverge (a rescaled product sits at Delta^2/q while a rescaled
+        input sits at Delta/q).  CKKS fixes this by multiplying the
+        smaller-scale operand by the all-ones plaintext encoded at the scale
+        ratio; BGV by a scalar constant that retargets the accumulated
+        plaintext-scale factor.
+        """
+        if isinstance(self.ctx, CkksContext):
+            return self._matched_ckks(ct0, ct1)
+        return self._matched_bgv(ct0, ct1)
+
+    def _matched_ckks(self, ct0: Ciphertext, ct1: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
+        if np.isclose(ct0.scale, ct1.scale, rtol=1e-9):
+            return ct0, ct1
+        swapped = ct0.scale > ct1.scale
+        small, big = (ct1, ct0) if swapped else (ct0, ct1)
+        ones = np.ones(self.params.n // 2)
+        ratio = big.scale / small.scale
+        # Encoding all-ones at scale `ratio` rounds the constant coefficient
+        # to round(ratio): accurate only when ratio is large.  For small
+        # ratios, amplify *both* sides by an exact power of two so the
+        # rounded coefficient carries >= ~20 bits; the big side's multiply
+        # is by exactly 2^k and therefore error-free.
+        amp = 1.0
+        while ratio * amp < 2 ** 20:
+            amp *= 2 ** 10
+        small = self.ctx.mul_plain(small, ones, scale=ratio * amp)
+        if amp > 1.0:
+            big = self.ctx.mul_plain(big, ones, scale=amp)
+        return (big, small) if swapped else (small, big)
+
+    def _matched_bgv(self, ct0: Ciphertext, ct1: Ciphertext) -> tuple[Ciphertext, Ciphertext]:
+        if ct0.plaintext_scale == ct1.plaintext_scale:
+            return ct0, ct1
+        # Retarget ct1's factor: multiplying the payload by
+        # k = s_target * s^{-1} (mod t) makes it decrypt identically under
+        # the claimed factor s_target.
+        t = self.ctx.t
+        target = ct0.plaintext_scale
+        k = target * pow(ct1.plaintext_scale, -1, t) % t
+        fixed = replace(self.ctx.mul_plain(ct1, np.array([k])),
+                        plaintext_scale=target)
+        return ct0, fixed

@@ -1,0 +1,120 @@
+"""Plaintext reference evaluator: runs a DSL program on unencrypted values.
+
+Every execution backend must agree with this evaluator — it defines the
+*semantics* of a :class:`~repro.dsl.program.Program` independently of any
+encryption, which is what makes cross-backend validation possible
+(functional decryption is compared bit-for-bit against it for BGV, and
+within float tolerance for CKKS).
+
+Scheme semantics mirror what the homomorphic path implements:
+
+- **BGV**: coefficient vectors mod t; MUL is negacyclic polynomial
+  multiplication; ROTATE is the automorphism ``sigma_{3^steps}``;
+  MOD_SWITCH preserves the plaintext.
+- **CKKS**: N/2 complex slot values; MUL is slot-wise; ROTATE cyclically
+  rotates slots (``sigma_{5^steps}`` under the canonical embedding);
+  MOD_SWITCH (rescaling) preserves the value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsl.program import OpKind, Program
+from repro.poly.automorphism import automorphism_coeff
+from repro.poly.ntt import naive_negacyclic_multiply
+
+
+def evaluate_reference(
+    program: Program,
+    inputs: dict[int, np.ndarray],
+    plains: dict[int, np.ndarray] | None = None,
+    *,
+    plaintext_modulus: int = 256,
+) -> dict[int, np.ndarray]:
+    """Interpret the op graph on plaintext vectors; outputs keyed by OUTPUT op id.
+
+    ``inputs`` maps INPUT op ids to value vectors, ``plains`` maps
+    INPUT_PLAIN op ids to unencrypted vectors (defaulting to ``[1]``, as the
+    functional interpreter does).  ``plaintext_modulus`` is the BGV ``t``;
+    it is ignored for CKKS programs.
+    """
+    plains = plains or {}
+    if program.scheme == "ckks":
+        return _evaluate_ckks(program, inputs, plains)
+    return _evaluate_bgv(program, inputs, plains, plaintext_modulus)
+
+
+def _pad(values, width: int, dtype) -> np.ndarray:
+    values = np.asarray(values, dtype=dtype).reshape(-1)
+    if values.shape[0] > width:
+        raise ValueError(f"vector of {values.shape[0]} values exceeds width {width}")
+    out = np.zeros(width, dtype=dtype)
+    out[: values.shape[0]] = values
+    return out
+
+
+def _evaluate_bgv(program, inputs, plains, t: int) -> dict[int, np.ndarray]:
+    n = program.n
+    env: dict[int, np.ndarray] = {}
+    out: dict[int, np.ndarray] = {}
+    for op in program.ops:
+        k = op.kind
+        if k is OpKind.INPUT:
+            env[op.op_id] = _pad(inputs[op.op_id], n, np.int64) % t
+        elif k is OpKind.INPUT_PLAIN:
+            env[op.op_id] = _pad(plains.get(op.op_id, [1]), n, np.int64) % t
+        elif k is OpKind.ADD:
+            env[op.op_id] = (env[op.args[0]] + env[op.args[1]]) % t
+        elif k is OpKind.SUB:
+            env[op.op_id] = (env[op.args[0]] - env[op.args[1]]) % t
+        elif k in (OpKind.MUL, OpKind.MUL_PLAIN):
+            env[op.op_id] = np.asarray(
+                naive_negacyclic_multiply(env[op.args[0]], env[op.args[1]], t),
+                dtype=np.int64,
+            )
+        elif k is OpKind.ADD_PLAIN:
+            env[op.op_id] = (env[op.args[0]] + env[op.args[1]]) % t
+        elif k is OpKind.ROTATE:
+            exponent = pow(3, op.rotate_steps, 2 * n)
+            env[op.op_id] = np.asarray(
+                automorphism_coeff(env[op.args[0]], exponent, t), dtype=np.int64
+            )
+        elif k is OpKind.MOD_SWITCH:
+            env[op.op_id] = env[op.args[0]]
+        elif k is OpKind.OUTPUT:
+            env[op.op_id] = env[op.args[0]]
+            out[op.op_id] = env[op.args[0]]
+        else:
+            raise ValueError(f"unhandled op kind {k}")
+    return out
+
+
+def _evaluate_ckks(program, inputs, plains) -> dict[int, np.ndarray]:
+    slots = program.n // 2
+    env: dict[int, np.ndarray] = {}
+    out: dict[int, np.ndarray] = {}
+    for op in program.ops:
+        k = op.kind
+        if k is OpKind.INPUT:
+            env[op.op_id] = _pad(inputs[op.op_id], slots, np.complex128)
+        elif k is OpKind.INPUT_PLAIN:
+            env[op.op_id] = _pad(plains.get(op.op_id, [1]), slots, np.complex128)
+        elif k is OpKind.ADD:
+            env[op.op_id] = env[op.args[0]] + env[op.args[1]]
+        elif k is OpKind.SUB:
+            env[op.op_id] = env[op.args[0]] - env[op.args[1]]
+        elif k in (OpKind.MUL, OpKind.MUL_PLAIN):
+            env[op.op_id] = env[op.args[0]] * env[op.args[1]]
+        elif k is OpKind.ADD_PLAIN:
+            env[op.op_id] = env[op.args[0]] + env[op.args[1]]
+        elif k is OpKind.ROTATE:
+            env[op.op_id] = np.roll(env[op.args[0]], -op.rotate_steps)
+        elif k is OpKind.MOD_SWITCH:
+            env[op.op_id] = env[op.args[0]]
+        elif k is OpKind.OUTPUT:
+            env[op.op_id] = env[op.args[0]]
+            out[op.op_id] = env[op.args[0]]
+        else:
+            raise ValueError(f"unhandled op kind {k}")
+    return out

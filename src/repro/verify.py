@@ -1,0 +1,85 @@
+"""One-command verification: tier-1 tests + perf gate + examples smoke.
+
+Usage (any checkout, no PYTHONPATH fiddling needed)::
+
+    python -m repro.verify               # everything
+    python -m repro.verify --fast        # tier-1 only (skip perf + examples)
+    python -m repro.verify --skip-perf   # e.g. on machines without a baseline
+
+Steps, in order:
+
+1. **tier-1** — ``pytest -x -q tests benchmarks`` (unit + table/figure
+   regeneration suites, including the backend-equivalence properties);
+2. **perf gate** — ``benchmarks/check_perf.py`` times the batched-engine hot
+   kernels against ``BENCH_engine.json`` (non-zero past 2.5x baseline);
+3. **examples smoke** — the four ``examples/*.py`` mains at reduced sizes
+   (``tests/test_examples.py``), re-run standalone so an example regression
+   is attributed even when tier-1 stopped early on an unrelated failure.
+
+Exits non-zero if any step fails, so CI can gate on this single command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    return env
+
+
+def _step(title: str, cmd: list[str]) -> tuple[str, bool, float]:
+    print(f"\n=== {title}: {' '.join(cmd)}", flush=True)
+    start = time.perf_counter()
+    code = subprocess.call(cmd, cwd=REPO_ROOT, env=_env())
+    elapsed = time.perf_counter() - start
+    return title, code == 0, elapsed
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify", description=__doc__.splitlines()[0]
+    )
+    parser.add_argument("--fast", action="store_true",
+                        help="tier-1 only (skip perf gate and examples smoke)")
+    parser.add_argument("--skip-perf", action="store_true",
+                        help="skip the hot-kernel perf regression gate")
+    parser.add_argument("--skip-examples", action="store_true",
+                        help="skip the examples smoke step")
+    args = parser.parse_args(argv)
+
+    py = sys.executable
+    results = [
+        _step("tier-1", [py, "-m", "pytest", "-x", "-q", "tests", "benchmarks"])
+    ]
+    if not (args.fast or args.skip_perf):
+        results.append(
+            _step("perf gate", [py, str(REPO_ROOT / "benchmarks" / "check_perf.py")])
+        )
+    if not (args.fast or args.skip_examples):
+        results.append(
+            _step("examples smoke",
+                  [py, "-m", "pytest", "-q", "tests/test_examples.py"])
+        )
+
+    print("\n=== verification summary ===")
+    failed = False
+    for title, ok, elapsed in results:
+        print(f"  {'PASS' if ok else 'FAIL'}  {title:16s} ({elapsed:.1f}s)")
+        failed = failed or not ok
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

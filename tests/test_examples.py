@@ -1,0 +1,44 @@
+"""Examples smoke: every examples/*.py main path runs at reduced sizes.
+
+API drift in the examples fails tier-1 here instead of rotting silently.
+Each demo function takes size parameters precisely so this test can shrink
+them; the examples' own __main__ blocks run the paper-sized defaults.
+"""
+
+import importlib.util
+import pathlib
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_quickstart():
+    quickstart = load_example("quickstart")
+    quickstart.functional_demo(n=256)
+    quickstart.accelerator_demo(n=4096, level=4)
+
+
+def test_private_inference():
+    private_inference = load_example("private_inference")
+    private_inference.encrypted_dense_layer(n=128)
+    private_inference.f1_inference_latency(scale=0.1)
+
+
+def test_encrypted_database():
+    encrypted_database = load_example("encrypted_database")
+    # t = 257 ≡ 1 (mod 2N): the Fermat chain shrinks to 8 squarings.
+    encrypted_database.encrypted_equality(n=64, t=257)
+    encrypted_database.f1_db_lookup(scale=0.1)
+
+
+def test_design_space():
+    design_space = load_example("design_space")
+    design_space.sweep(scale=0.05)
