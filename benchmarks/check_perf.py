@@ -8,7 +8,8 @@ Usage (from the repo root):
     PYTHONPATH=src python benchmarks/check_perf.py --tolerance 3.0
 
 Times a fixed set of hot kernels (all-limb NTT, CRT conversions, base
-extension, Listing-1 key switch) and compares each against the recorded
+extension, Listing-1 key switch, plus the serving hot paths: slot
+pack/unpack and registry lookup) and compares each against the recorded
 baseline in ``BENCH_engine.json`` next to this script.  A kernel regresses if
 it is more than ``--tolerance`` times slower than baseline (generous by
 default: baselines travel between machines).  Exits non-zero on regression so
@@ -62,6 +63,22 @@ def _kernels():
     hint = bgv.hint_v1("relin", ks_basis)
     ks_x = uniform_poly(ks_basis, params.n, rng, Domain.NTT)
 
+    # Serving hot paths: per-request slot pack/unpack and the registry's
+    # signature-hash + cache-hit lookup (paid on every submitted request).
+    from repro.bench.loadgen import poly_ckks_program, synthetic_requests
+    from repro.serve import ProgramRegistry, SlotBatcher
+
+    serve_program = poly_ckks_program(1024)
+    batcher = SlotBatcher(serve_program, width=16)
+    serve_requests = synthetic_requests(
+        serve_program, batcher.capacity, width=16, seed=5
+    )
+    packed_inputs, _ = batcher.pack(serve_requests)
+    out_id = serve_program.ops[-1].op_id
+    packed_outputs = {out_id: next(iter(packed_inputs.values()))}
+    registry = ProgramRegistry()
+    registry.compiled_for(serve_program, check=False)  # warm: time the hit path
+
     return {
         "ntt_forward_all_limb": lambda: ctx.forward(limbs),
         "ntt_inverse_all_limb": lambda: ctx.inverse(evals),
@@ -69,6 +86,13 @@ def _kernels():
         "crt_from_rns": lambda: basis.from_rns(limbs),
         "base_extend": lambda: base_extend(x_coeff, extended),
         "key_switch_v1": lambda: key_switch_v1(ks_x, hint),
+        "serve_slot_pack": lambda: batcher.pack(serve_requests),
+        "serve_slot_unpack": lambda: batcher.unpack(
+            packed_outputs, batcher.capacity
+        ),
+        "serve_registry_lookup": lambda: registry.compiled_for(
+            serve_program, check=False
+        ),
     }
 
 

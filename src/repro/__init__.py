@@ -51,11 +51,17 @@ from repro.fhe.bgv import BgvContext
 from repro.fhe.ckks import CkksContext
 from repro.fhe.context import FheContext
 from repro.fhe.params import FheParams
+from repro.serve import (
+    FheServer,
+    ProgramRegistry,
+    RequestResult,
+    SlotBatcher,
+)
 from repro.sim.functional import FunctionalSimulator
 from repro.sim.reference import evaluate_reference
 from repro.sim.simulator import check_schedule
 
-__version__ = "2.0.0"
+__version__ = "2.1.0"
 
 __all__ = [
     "BACKENDS",
@@ -68,12 +74,16 @@ __all__ = [
     "F1Config",
     "FheContext",
     "FheParams",
+    "FheServer",
     "FunctionalBackend",
     "FunctionalSimulator",
     "HeaxBackend",
     "Program",
+    "ProgramRegistry",
     "ReferenceBackend",
+    "RequestResult",
     "RunResult",
+    "SlotBatcher",
     "check_schedule",
     "compile_program",
     "evaluate_reference",

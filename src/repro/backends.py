@@ -37,9 +37,10 @@ import numpy as np
 
 from repro.baselines.cpu import CpuModel
 from repro.baselines.heax import HeaxModel
-from repro.compiler.pipeline import compile_program
+from repro.compiler.pipeline import CompiledProgram, compile_program
 from repro.core.config import F1Config
 from repro.dsl.program import KS_OPS, OpKind, Program
+from repro.fhe.context import FheContext
 from repro.fhe.params import FheParams
 from repro.sim.functional import FunctionalSimulator
 from repro.sim.reference import evaluate_reference
@@ -48,6 +49,11 @@ from repro.sim.simulator import check_schedule
 #: default BGV plaintext modulus for generated parameter sets; a power of
 #: two <= 2N keeps modulus switching free of plaintext-scale corrections.
 DEFAULT_PLAINTEXT_MODULUS = 256
+
+#: seed for generated default inputs when the caller passes none and no
+#: explicit per-run seed; shared by every value-executing backend so the
+#: same program gets the same generated data on each of them.
+DEFAULT_INPUT_SEED = 1234
 
 
 @dataclass
@@ -80,14 +86,82 @@ class Backend(Protocol):
 
     name: str
 
-    def run(self, program: Program, *, inputs=None, plains=None) -> RunResult:
-        """Execute (or model the execution of) ``program``."""
+    def run(self, program: Program, *, inputs=None, plains=None,
+            seed: int | None = None) -> RunResult:
+        """Execute (or model the execution of) ``program``.
+
+        ``seed``, when given, makes the run self-contained and
+        deterministic: it seeds both generated default inputs and (for
+        value-executing backends) the fresh encryption context, so
+        concurrent workers never share hidden RNG state.  Modeled backends
+        accept and ignore it.
+        """
         ...
 
 
 def _graph_stats(program: Program) -> tuple[dict[str, int], int]:
     stats = program.stats()
     return stats["counts"], stats["distinct_hints"]
+
+
+def program_width(program: Program) -> int:
+    """Values per input vector: N coefficients (BGV) or N/2 slots (CKKS)."""
+    return program.n // 2 if program.scheme == "ckks" else program.n
+
+
+def validate_run_args(program: Program, inputs=None, plains=None) -> None:
+    """Reject malformed run requests with a clear error, up front.
+
+    Covers the failure shapes that otherwise surface as deep ``KeyError`` /
+    numpy broadcasting errors mid-interpretation: empty programs, value
+    dicts keyed by ops that are not (the right kind of) inputs, missing
+    INPUT values when an ``inputs`` dict is given, and vectors longer than
+    the program width.  Missing *plains* stay legal — they default to
+    ``[1]``, matching the reference evaluator.
+    """
+    if not program.ops:
+        raise ValueError(
+            f"program {program.name!r} is empty: declare inputs, ops, and "
+            f"outputs before running it"
+        )
+    input_ids = {op.op_id for op in program.ops if op.kind is OpKind.INPUT}
+    plain_ids = {op.op_id for op in program.ops if op.kind is OpKind.INPUT_PLAIN}
+    if inputs is not None:
+        unknown = sorted(set(inputs) - input_ids)
+        if unknown:
+            raise ValueError(
+                f"inputs for {program.name!r} name ops {unknown} which are "
+                f"not INPUT ops (INPUT op ids: {sorted(input_ids)})"
+            )
+        missing = sorted(input_ids - set(inputs))
+        if missing:
+            raise ValueError(
+                f"inputs for {program.name!r} missing values for INPUT ops "
+                f"{missing}; pass every encrypted input (or inputs=None to "
+                f"generate all of them)"
+            )
+    if plains is not None:
+        unknown = sorted(set(plains) - plain_ids)
+        if unknown:
+            raise ValueError(
+                f"plains for {program.name!r} name ops {unknown} which are "
+                f"not INPUT_PLAIN ops (INPUT_PLAIN op ids: {sorted(plain_ids)})"
+            )
+    width = program_width(program)
+    for label, mapping in (("inputs", inputs), ("plains", plains)):
+        for op_id, values in (mapping or {}).items():
+            arr = np.asarray(values)
+            if arr.ndim != 1:
+                raise ValueError(
+                    f"{label}[{op_id}] for {program.name!r} must be a 1-D "
+                    f"vector, got shape {arr.shape}"
+                )
+            if arr.shape[0] > width:
+                raise ValueError(
+                    f"{label}[{op_id}] has {arr.shape[0]} values but "
+                    f"{program.scheme} programs at N={program.n} hold at "
+                    f"most {width}"
+                )
 
 
 def default_plaintext_modulus(program: Program) -> int:
@@ -98,7 +172,7 @@ def default_plaintext_modulus(program: Program) -> int:
     return min(DEFAULT_PLAINTEXT_MODULUS, 2 * program.n)
 
 
-def default_inputs(program: Program, *, seed: int = 1234,
+def default_inputs(program: Program, *, seed: int = DEFAULT_INPUT_SEED,
                    plaintext_modulus: int = DEFAULT_PLAINTEXT_MODULUS):
     """Deterministic random inputs for every INPUT/INPUT_PLAIN op.
 
@@ -121,6 +195,27 @@ def default_inputs(program: Program, *, seed: int = 1234,
     return inputs, plains
 
 
+def params_for_program(program: Program, scheme: str, *, prime_bits: int = 28,
+                       plaintext_modulus: int | None = None) -> FheParams:
+    """The toy parameter set the functional path uses for a program.
+
+    Sized to the program: one ``prime_bits``-bit limb per program level;
+    BGV ``t`` defaults to :func:`default_plaintext_modulus`.  Kept as a
+    module-level function so the serving registry derives byte-identical
+    parameters to a fresh :class:`FunctionalBackend` run.
+    """
+    if scheme == "ckks":
+        t = 1
+    elif plaintext_modulus is not None:
+        t = plaintext_modulus
+    else:
+        t = default_plaintext_modulus(program)
+    levels = max((op.level for op in program.ops), default=1)
+    return FheParams.build(
+        n=program.n, levels=levels, prime_bits=prime_bits, plaintext_modulus=t,
+    )
+
+
 class FunctionalBackend:
     """Real-encryption interpreter: encrypt inputs, execute, decrypt outputs.
 
@@ -129,6 +224,13 @@ class FunctionalBackend:
     program level).  With ``validate=True`` (the default) the decrypted
     outputs are checked against the plaintext reference evaluator — exactly
     for BGV, within ``tolerance`` for CKKS — and a mismatch raises.
+
+    ``run`` accepts two serving-oriented extras: ``seed`` makes one run
+    self-contained (fresh context keys *and* generated inputs both derive
+    from it), and ``context`` injects a pre-built
+    :class:`~repro.fhe.context.FheContext` — e.g. one cached by
+    :class:`repro.serve.ProgramRegistry` — so repeat traffic skips keygen.
+    A context may also be bound at construction time.
     """
 
     name = "functional"
@@ -136,7 +238,8 @@ class FunctionalBackend:
     def __init__(self, scheme: str | None = None, *, params: FheParams | None = None,
                  seed: int = 0, ks_variant: int | None = None,
                  prime_bits: int = 28, plaintext_modulus: int | None = None,
-                 validate: bool = True, tolerance: float = 1e-2):
+                 validate: bool = True, tolerance: float = 1e-2,
+                 context: FheContext | None = None):
         if scheme not in (None, "bgv", "ckks"):
             raise ValueError(f"unsupported scheme {scheme!r}")
         self.scheme = scheme
@@ -147,23 +250,19 @@ class FunctionalBackend:
         self.plaintext_modulus = plaintext_modulus
         self.validate = validate
         self.tolerance = tolerance
+        self.context = context
 
     def _params_for(self, program: Program, scheme: str) -> FheParams:
         if self.params is not None:
             return self.params
-        if scheme == "ckks":
-            t = 1
-        elif self.plaintext_modulus is not None:
-            t = self.plaintext_modulus
-        else:
-            t = default_plaintext_modulus(program)
-        levels = max((op.level for op in program.ops), default=1)
-        return FheParams.build(
-            n=program.n, levels=levels, prime_bits=self.prime_bits,
-            plaintext_modulus=t,
+        return params_for_program(
+            program, scheme, prime_bits=self.prime_bits,
+            plaintext_modulus=self.plaintext_modulus,
         )
 
-    def run(self, program: Program, *, inputs=None, plains=None) -> RunResult:
+    def run(self, program: Program, *, inputs=None, plains=None,
+            seed: int | None = None, context: FheContext | None = None) -> RunResult:
+        validate_run_args(program, inputs, plains)
         scheme = self.scheme or ("ckks" if program.scheme == "ckks" else "bgv")
         if scheme != program.scheme and not (scheme == "bgv" and program.scheme == "gsw"):
             # Interpreting a program under the other scheme is legitimate
@@ -175,16 +274,20 @@ class FunctionalBackend:
                 f"{program_scheme!r} program; rebuild the Program with "
                 f"scheme={scheme!r}"
             )
-        params = self._params_for(program, scheme)
+        context = context if context is not None else self.context
+        params = context.params if context is not None else self._params_for(program, scheme)
         if inputs is None or plains is None:
             gen_inputs, gen_plains = default_inputs(
-                program, plaintext_modulus=params.plaintext_modulus
+                program,
+                seed=DEFAULT_INPUT_SEED if seed is None else seed,
+                plaintext_modulus=params.plaintext_modulus
                 if scheme == "bgv" else DEFAULT_PLAINTEXT_MODULUS,
             )
             inputs = gen_inputs if inputs is None else inputs
             plains = gen_plains if plains is None else plains
         sim = FunctionalSimulator(
-            program, params, seed=self.seed, ks_variant=self.ks_variant
+            program, params, seed=self.seed if seed is None else seed,
+            ks_variant=self.ks_variant, context=context,
         )
         start = time.perf_counter()
         outputs = sim.run(inputs or {}, plains or {})
@@ -242,10 +345,15 @@ class ReferenceBackend:
     def __init__(self, *, plaintext_modulus: int | None = None):
         self.plaintext_modulus = plaintext_modulus
 
-    def run(self, program: Program, *, inputs=None, plains=None) -> RunResult:
+    def run(self, program: Program, *, inputs=None, plains=None,
+            seed: int | None = None) -> RunResult:
+        validate_run_args(program, inputs, plains)
         t = self.plaintext_modulus or default_plaintext_modulus(program)
         if inputs is None or plains is None:
-            gen_inputs, gen_plains = default_inputs(program, plaintext_modulus=t)
+            gen_inputs, gen_plains = default_inputs(
+                program, seed=DEFAULT_INPUT_SEED if seed is None else seed,
+                plaintext_modulus=t,
+            )
             inputs = gen_inputs if inputs is None else inputs
             plains = gen_plains if plains is None else plains
         start = time.perf_counter()
@@ -262,7 +370,15 @@ class ReferenceBackend:
 
 
 class F1Backend:
-    """The F1 accelerator: compile, check the static schedule, model time."""
+    """The F1 accelerator: compile, check the static schedule, model time.
+
+    ``run(compiled=...)`` accepts a pre-built :class:`CompiledProgram`
+    (e.g. from :class:`repro.serve.ProgramRegistry`) and skips both the
+    compile and the schedule check — the caller vouches for the artifact.
+    :meth:`ProgramRegistry.compiled_for(check=True)
+    <repro.serve.ProgramRegistry.compiled_for>` provides that guarantee,
+    checking even artifacts first built with ``check=False``.
+    """
 
     name = "f1"
 
@@ -273,17 +389,23 @@ class F1Backend:
         self.check = check
         self.ks_choice = ks_choice
 
-    def run(self, program: Program, *, inputs=None, plains=None) -> RunResult:
-        compiled = compile_program(
-            program, self.config, scheduler=self.scheduler,
-            ks_choice=self.ks_choice,
-        )
+    def run(self, program: Program, *, inputs=None, plains=None,
+            seed: int | None = None,
+            compiled: CompiledProgram | None = None) -> RunResult:
+        validate_run_args(program, inputs, plains)
+        reused = compiled is not None
+        if not reused:
+            compiled = compile_program(
+                program, self.config, scheduler=self.scheduler,
+                ks_choice=self.ks_choice,
+            )
         stats = compiled.summary()
         stats["traffic_bytes"] = compiled.traffic_breakdown_bytes()
-        stats["config"] = self.config.name
+        stats["config"] = compiled.config.name
         stats["compiled"] = compiled
         stats["time_kind"] = "modeled"
-        if self.check:
+        stats["compile_reused"] = reused
+        if self.check and not reused:
             report = check_schedule(
                 compiled.translation.graph, compiled.movement, compiled.schedule
             )
@@ -309,7 +431,9 @@ class CpuBackend:
         self.model = model or CpuModel(threads=threads)
         self.software_factor = software_factor
 
-    def run(self, program: Program, *, inputs=None, plains=None) -> RunResult:
+    def run(self, program: Program, *, inputs=None, plains=None,
+            seed: int | None = None) -> RunResult:
+        validate_run_args(program, inputs, plains)
         time_ms = self.model.run_program_ms(program) * self.software_factor
         counts, hints = _graph_stats(program)
         return RunResult(
@@ -329,7 +453,9 @@ class HeaxBackend:
     def __init__(self, model: HeaxModel | None = None):
         self.model = model or HeaxModel()
 
-    def run(self, program: Program, *, inputs=None, plains=None) -> RunResult:
+    def run(self, program: Program, *, inputs=None, plains=None,
+            seed: int | None = None) -> RunResult:
+        validate_run_args(program, inputs, plains)
         time_ms = self.model.run_program_ms(program)
         counts, hints = _graph_stats(program)
         return RunResult(
@@ -368,13 +494,19 @@ def resolve_backend(backend) -> Backend:
     raise TypeError(f"not a backend: {backend!r}")
 
 
-def run(program: Program, backend="f1", *, inputs=None, plains=None) -> RunResult:
+def run(program: Program, backend="f1", *, inputs=None, plains=None,
+        seed: int | None = None) -> RunResult:
     """Run one program on one backend — the write-once/run-anywhere entry.
 
     ``backend`` is a :class:`Backend` instance or a name from
     :data:`BACKENDS` (``"functional"``, ``"reference"``, ``"f1"``, ``"cpu"``,
     ``"heax"``).  ``inputs``/``plains`` map INPUT / INPUT_PLAIN op ids to
     value vectors; value-executing backends generate deterministic random
-    data when omitted.
+    data when omitted.  ``seed`` pins all per-run randomness (generated
+    inputs and fresh encryption keys), making runs reproducible even from
+    concurrent workers; every backend rejects malformed requests via
+    :func:`validate_run_args` before any work happens.
     """
-    return resolve_backend(backend).run(program, inputs=inputs, plains=plains)
+    return resolve_backend(backend).run(
+        program, inputs=inputs, plains=plains, seed=seed
+    )

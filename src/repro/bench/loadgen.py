@@ -1,0 +1,244 @@
+"""Synthetic-traffic load generator for the serving runtime.
+
+Measures what the serve layer buys over the pre-serving status quo, where
+every request is one isolated ``repro.run`` call that compiles, keygens,
+and executes alone:
+
+- **measured** requests/s on :class:`~repro.backends.FunctionalBackend` —
+  real encryption, wall-clock timed — for batched serving
+  (:class:`~repro.serve.FheServer`) vs the sequential baseline, with the
+  registry's compile/keygen cache hit rate and batch occupancy reported;
+- **modeled** requests/s on :class:`~repro.backends.F1Backend` — the slot
+  layout's capacity divided by the accelerator's modeled batch time;
+- a correctness cross-check: a sample of served outputs must match solo
+  runs (bit-identical for BGV, within tolerance for CKKS).
+
+Run it::
+
+    PYTHONPATH=src python -m repro.bench.loadgen
+    PYTHONPATH=src python -m repro.bench.loadgen --requests 256 --n 1024
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+import repro
+from repro.backends import FunctionalBackend, default_plaintext_modulus
+from repro.dsl.program import OpKind, Program
+from repro.serve import FheServer, ProgramRegistry, Request, SlotBatcher
+
+
+# ------------------------------------------------------------------ workloads
+def linear_bgv_program(n: int = 512, *, level: int = 3) -> Program:
+    """A batchable BGV scoring circuit: x*w + bias (shared model weights)."""
+    p = Program(n=n, scheme="bgv", name="serve_linear_bgv")
+    x = p.input(level, name="x")
+    w = p.input_plain(level, name="weights")
+    bias = p.input_plain(level, name="bias")
+    p.output(p.add_plain(p.mul_plain(x, w), bias), name="score")
+    return p
+
+
+def poly_ckks_program(n: int = 512, *, level: int = 4) -> Program:
+    """A batchable CKKS polynomial: x*y + x (slot-wise ct x ct multiply)."""
+    p = Program(n=n, scheme="ckks", name="serve_poly_ckks")
+    x = p.input(level, name="x")
+    y = p.input(level, name="y")
+    p.output(p.add(p.mul(x, y), x), name="x*y + x")
+    return p
+
+
+def synthetic_requests(program: Program, count: int, *, width: int,
+                       seed: int = 0) -> list[Request]:
+    """Deterministic per-client request vectors for every input/plain op.
+
+    BGV plains are shared across requests (model weights — also what the
+    slot batcher requires for MUL_PLAIN operands); CKKS plains and all
+    encrypted inputs are drawn per request.
+    """
+    rng = np.random.default_rng(seed)
+    t = default_plaintext_modulus(program)
+    is_ckks = program.scheme == "ckks"
+
+    def draw():
+        return (rng.uniform(-1.0, 1.0, width) if is_ckks
+                else rng.integers(0, t, width))
+
+    input_ids = [op.op_id for op in program.ops if op.kind is OpKind.INPUT]
+    plain_ids = [op.op_id for op in program.ops
+                 if op.kind is OpKind.INPUT_PLAIN]
+    shared_plains = {op_id: draw() for op_id in plain_ids} if not is_ckks else {}
+    requests = []
+    for _ in range(count):
+        requests.append(Request(
+            inputs={op_id: draw() for op_id in input_ids},
+            plains=(dict(shared_plains) if not is_ckks
+                    else {op_id: draw() for op_id in plain_ids}),
+        ))
+    return requests
+
+
+# ----------------------------------------------------------------- harnesses
+def sequential_throughput(program: Program, requests: list[Request],
+                          *, seed: int = 0) -> dict:
+    """The status quo: one isolated ``repro.run`` per request.
+
+    Each call constructs a fresh functional backend, so every request
+    pays parameter generation, keygen, and hint generation again —
+    exactly what a naive per-request service would do.
+    """
+    start = time.perf_counter()
+    outputs = []
+    for request in requests:
+        result = repro.run(
+            program, backend=FunctionalBackend(validate=False),
+            inputs=request.inputs, plains=request.plains or None, seed=seed,
+        )
+        outputs.append(result.outputs)
+    elapsed = time.perf_counter() - start
+    return {
+        "requests": len(requests),
+        "elapsed_s": elapsed,
+        "requests_per_s": len(requests) / elapsed,
+        "outputs": outputs,
+    }
+
+
+def serving_throughput(program: Program, requests: list[Request], *,
+                       width: int, max_batch: int | None = None,
+                       workers: int = 2, max_wait_ms: float = 5.0,
+                       seed: int = 0) -> dict:
+    """Batched serving through :class:`FheServer`, wall-clock timed."""
+    registry = ProgramRegistry()
+    start = time.perf_counter()
+    with FheServer(max_batch=max_batch, max_wait_ms=max_wait_ms,
+                   workers=workers, registry=registry, seed=seed) as server:
+        futures = [
+            server.submit(program, inputs=request.inputs,
+                          plains=request.plains, width=width)
+            for request in requests
+        ]
+        server.flush()
+        results = [future.result() for future in futures]
+        elapsed = time.perf_counter() - start
+        stats = server.stats()
+    return {
+        "requests": len(requests),
+        "elapsed_s": elapsed,
+        "requests_per_s": len(requests) / elapsed,
+        "mean_occupancy": stats["mean_occupancy"],
+        "mean_batch_size": stats["mean_batch_size"],
+        "cache_hit_rate": stats["registry"]["hit_rate"],
+        "latency_ms": stats["latency_ms"],
+        "results": results,
+    }
+
+
+def modeled_f1_throughput(program: Program, *, width: int,
+                          config=None) -> dict:
+    """Modeled accelerator serving rate: capacity requests per batch time."""
+    batcher = SlotBatcher(program, width=width)
+    registry = ProgramRegistry()
+    entry, _ = registry.compiled_for(program, config)
+    time_ms = entry.compiled.time_ms
+    return {
+        "capacity": batcher.capacity,
+        "batch_time_ms": time_ms,
+        "requests_per_s_batched": batcher.capacity / time_ms * 1e3,
+        "requests_per_s_solo": 1.0 / time_ms * 1e3,
+        "speedup": float(batcher.capacity),
+    }
+
+
+def crosscheck(program: Program, served: list, sequential_outputs: list,
+               *, width: int, sample: int = 4) -> float:
+    """Served outputs must match solo runs; returns the max CKKS error."""
+    t = default_plaintext_modulus(program)
+    max_err = 0.0
+    step = max(1, len(served) // sample)
+    for idx in range(0, len(served), step):
+        for out_id, solo in sequential_outputs[idx].items():
+            got = served[idx].values[out_id]
+            want = np.asarray(solo)[: got.shape[0]]
+            if program.scheme == "ckks":
+                max_err = max(max_err, float(np.max(np.abs(got - want))))
+            elif not np.array_equal(got % t, np.asarray(want) % t):
+                raise AssertionError(
+                    f"served output {out_id} of request {idx} is not "
+                    f"bit-identical to the solo run"
+                )
+    if program.scheme == "ckks" and max_err > 1e-2:
+        raise AssertionError(f"served CKKS outputs drift {max_err:.2e} from solo runs")
+    return max_err
+
+
+def run_loadgen(*, n: int = 512, width: int = 8, requests: int = 64,
+                workers: int = 2, max_wait_ms: float = 5.0,
+                seed: int = 0, verbose: bool = True) -> dict:
+    """Full report: measured BGV + CKKS serving speedups and modeled F1."""
+    report: dict = {}
+    for program in (linear_bgv_program(n), poly_ckks_program(n)):
+        reqs = synthetic_requests(program, requests, width=width, seed=seed)
+        seq = sequential_throughput(program, reqs, seed=seed)
+        srv = serving_throughput(program, reqs, width=width,
+                                 workers=workers, max_wait_ms=max_wait_ms,
+                                 seed=seed)
+        err = crosscheck(program, srv["results"], seq["outputs"], width=width)
+        speedup = srv["requests_per_s"] / seq["requests_per_s"]
+        report[program.name] = {
+            "scheme": program.scheme,
+            "sequential_rps": seq["requests_per_s"],
+            "serving_rps": srv["requests_per_s"],
+            "speedup": speedup,
+            "mean_occupancy": srv["mean_occupancy"],
+            "cache_hit_rate": srv["cache_hit_rate"],
+            "p50_latency_ms": srv["latency_ms"]["p50"],
+            "p99_latency_ms": srv["latency_ms"]["p99"],
+            "max_ckks_error": err,
+        }
+        if verbose:
+            row = report[program.name]
+            print(f"{program.name} ({program.scheme}, N={n}, width={width}, "
+                  f"{requests} requests)")
+            print(f"  sequential repro.run : {row['sequential_rps']:8.1f} req/s")
+            print(f"  batched FheServer    : {row['serving_rps']:8.1f} req/s "
+                  f"({speedup:.1f}x)")
+            print(f"  occupancy {row['mean_occupancy']:.2f}, cache hit rate "
+                  f"{row['cache_hit_rate']:.2f}, p50 {row['p50_latency_ms']:.1f} ms, "
+                  f"p99 {row['p99_latency_ms']:.1f} ms")
+    f1_program = poly_ckks_program(16384, level=8)
+    f1 = modeled_f1_throughput(f1_program, width=width)
+    report["f1_modeled"] = f1
+    if verbose:
+        print(f"{f1_program.name} on F1 (modeled, N=16384, width={width})")
+        print(f"  one request per run  : {f1['requests_per_s_solo']:8.1f} req/s")
+        print(f"  {f1['capacity']} requests per batch: "
+              f"{f1['requests_per_s_batched']:8.1f} req/s ({f1['speedup']:.0f}x)")
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=512, help="ring degree")
+    parser.add_argument("--width", type=int, default=8,
+                        help="values per request")
+    parser.add_argument("--requests", type=int, default=64)
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--max-wait-ms", type=float, default=5.0)
+    args = parser.parse_args(argv)
+    report = run_loadgen(n=args.n, width=args.width, requests=args.requests,
+                         workers=args.workers, max_wait_ms=args.max_wait_ms)
+    measured = [row["speedup"] for key, row in report.items()
+                if key != "f1_modeled"]
+    floor = min(measured)
+    print(f"\nmin measured serving speedup: {floor:.1f}x "
+          f"({'>=' if floor >= 5 else '<'} 5x target)")
+    return 0 if floor >= 5.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,7 @@ mod-switch *before* each multiplication (Sec. 2.2.2) when levels allow.
 from __future__ import annotations
 
 import enum
+import hashlib
 import math
 from dataclasses import dataclass, field
 
@@ -192,6 +193,26 @@ class Program:
         for i in range(int(math.log2(self.n))):
             x = self.add(x, self.rotate(x, 1 << i))
         return x
+
+    def signature(self) -> str:
+        """Canonical structural fingerprint of the op graph.
+
+        Two programs share a signature iff they are the same computation:
+        same ring degree, scheme, and op sequence (kind, argument wiring,
+        level, rotation amount).  Names — of the program or of individual
+        ops — are presentation only and do not enter the hash, so a client
+        re-building "the same" program each request maps to one registry
+        entry.  Ops are identified positionally, which is well-defined
+        because args always point backwards in the append-ordered list.
+        """
+        h = hashlib.sha256()
+        h.update(f"{self.n}|{self.scheme}".encode())
+        for op in self.ops:
+            h.update(
+                f"|{op.kind.value}:{','.join(map(str, op.args))}"
+                f":{op.level}:{op.rotate_steps}".encode()
+            )
+        return h.hexdigest()
 
     def stats(self) -> dict:
         counts: dict[str, int] = {}

@@ -1,0 +1,48 @@
+"""Serving runtime: compile-once registry, slot batching, and a job server.
+
+The paper's argument is that FHE pays off when huge ciphertext vectors
+amortize cost across many values; this package applies it across *users*:
+
+- :mod:`repro.serve.registry` — :class:`ProgramRegistry` caches
+  compiled programs, parameter sets, and keygenned contexts per
+  ``(Program.signature(), params)``, so repeat traffic never re-compiles
+  or re-keygens;
+- :mod:`repro.serve.batcher` — :class:`SlotBatcher` packs k independent
+  requests into one ciphertext's unused lanes and demultiplexes the
+  outputs, k requests for one request's price;
+- :mod:`repro.serve.server` — :class:`FheServer` ties them to a bounded
+  queue, a size-or-deadline flush policy, and a worker pool, with
+  per-request and aggregate telemetry.
+
+Ten-line tour::
+
+    import repro
+
+    program = ...            # any batchable DSL Program
+    with repro.FheServer(max_batch=8, max_wait_ms=5.0) as server:
+        futures = [server.submit(program, inputs={x.op_id: vec})
+                   for vec in client_vectors]
+        results = [f.result() for f in futures]
+    # results[i].values, .latency_ms, .batch_occupancy, .cache_hit
+"""
+
+from repro.serve.batcher import (
+    BatchUnsupported,
+    Request,
+    SlotBatcher,
+    unbatchable_reason,
+)
+from repro.serve.registry import CompiledEntry, ContextEntry, ProgramRegistry
+from repro.serve.server import FheServer, RequestResult
+
+__all__ = [
+    "BatchUnsupported",
+    "CompiledEntry",
+    "ContextEntry",
+    "FheServer",
+    "ProgramRegistry",
+    "Request",
+    "RequestResult",
+    "SlotBatcher",
+    "unbatchable_reason",
+]

@@ -1,0 +1,291 @@
+"""Slot-level request batching: many clients, one ciphertext.
+
+The paper's economics (Sec. 2.3): an F1-scale ciphertext carries tens of
+thousands of coefficients/slots, and every homomorphic op pays for all of
+them whether they hold useful data or not.  A single client request that
+uses a width-``w`` vector leaves the other ``N - w`` lanes idle.  The
+:class:`SlotBatcher` reclaims them by packing ``k`` independent requests
+for the *same program* into disjoint lanes of one set of input vectors,
+running the program once, and demultiplexing per-request output blocks —
+k requests for one request's price.
+
+Packing is only sound when every program op acts lane-wise on the packed
+layout, which depends on the scheme's plaintext semantics (defined by
+:mod:`repro.sim.reference`):
+
+- **CKKS** values live in N/2 canonical-embedding slots and *every* DSL op
+  except ROTATE is slot-wise (including ct x ct MUL) — so any
+  rotation-free CKKS program batches, with per-request plains tiled into
+  each block.
+- **BGV** values are coefficient vectors; ADD/SUB/ADD_PLAIN/MOD_SWITCH are
+  coefficient-wise, but MUL/MUL_PLAIN are negacyclic convolutions.  A
+  ct x ct MUL mixes blocks irrecoverably (cross terms land on diagonal
+  offsets), so programs containing one do not batch.  MUL_PLAIN *does*
+  batch when the plain operand is shared by every request (the usual case
+  — model weights): convolution is shift-equivariant, so
+  ``(x << j*S) * p == (x * p) << j*S`` as long as blocks are spaced widely
+  enough that products never spill into the next block.  The stride
+  therefore grows by ``plain_width - 1`` per MUL_PLAIN in the program, and
+  ADD_PLAIN plains are tiled per request while MUL_PLAIN plains stay
+  shared and untiled.
+
+:class:`SlotBatcher` checks these rules at construction
+(:func:`unbatchable_reason`), computes the layout (stride, capacity), and
+exposes ``pack`` / ``unpack`` / ``run``.  Under-filled batches are first
+class: ``occupancy(k) = k / capacity`` is reported per batch so serving
+telemetry makes wasted lanes visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backends import resolve_backend
+from repro.dsl.program import OpKind, Program
+
+
+class BatchUnsupported(ValueError):
+    """This program cannot be slot-batched; serve it one request at a time."""
+
+
+@dataclass
+class Request:
+    """One client request: values for the program's INPUT/INPUT_PLAIN ops."""
+
+    inputs: dict[int, np.ndarray] = field(default_factory=dict)
+    plains: dict[int, np.ndarray] = field(default_factory=dict)
+
+
+def _coerce(request) -> Request:
+    if isinstance(request, Request):
+        return request
+    if isinstance(request, tuple) and len(request) == 2:
+        return Request(inputs=request[0] or {}, plains=request[1] or {})
+    raise TypeError(f"not a request: {request!r} (want Request or (inputs, plains))")
+
+
+def unbatchable_reason(program: Program) -> str | None:
+    """Why this program cannot be slot-batched, or None if it can.
+
+    ROTATE moves data across lane boundaries in both schemes.  For BGV
+    (coefficient semantics) ct x ct MUL is a full negacyclic convolution
+    whose cross-request terms cannot be separated; and a plain input that
+    feeds both a MUL_PLAIN (must stay shared/untiled) and an ADD_PLAIN
+    (must be tiled per request) has no consistent packing.
+    """
+    kinds = {op.kind for op in program.ops}
+    if OpKind.ROTATE in kinds:
+        return "ROTATE moves values across request lanes"
+    if program.scheme != "ckks":
+        if OpKind.MUL in kinds:
+            return ("BGV ct x ct MUL is a negacyclic convolution that mixes "
+                    "request blocks")
+        for op in program.ops:
+            if op.kind is not OpKind.INPUT_PLAIN:
+                continue
+            consumers = {program.ops[u].kind for u in op.users}
+            if OpKind.MUL_PLAIN in consumers and OpKind.ADD_PLAIN in consumers:
+                return (f"plain input {op.op_id} feeds both MUL_PLAIN "
+                        f"(needs a shared operand) and ADD_PLAIN (needs a "
+                        f"tiled one)")
+    return None
+
+
+class SlotBatcher:
+    """Packs k same-signature requests into one program invocation.
+
+    ``width`` is the per-request vector length every request must respect.
+    For BGV, ``plain_width`` (default ``width``) bounds each shared
+    MUL_PLAIN operand; the inter-request stride grows by
+    ``plain_width - 1`` per MUL_PLAIN op so convolution products never
+    cross block boundaries.  ``capacity`` is how many requests one
+    ciphertext carries at this layout.
+    """
+
+    def __init__(self, program: Program, *, width: int,
+                 plain_width: int | None = None, max_batch: int | None = None):
+        reason = unbatchable_reason(program)
+        if reason is not None:
+            raise BatchUnsupported(
+                f"program {program.name!r} cannot be slot-batched: {reason}"
+            )
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        self.program = program
+        self.scheme = "ckks" if program.scheme == "ckks" else "bgv"
+        self.width = width
+        self.plain_width = width if plain_width is None else plain_width
+        self._lanes = program.n // 2 if self.scheme == "ckks" else program.n
+        if self.scheme == "ckks":
+            self.stride = width
+        else:
+            n_mul_plain = sum(
+                1 for op in program.ops if op.kind is OpKind.MUL_PLAIN
+            )
+            self.stride = width + n_mul_plain * (self.plain_width - 1)
+        capacity = self._lanes // self.stride
+        if capacity < 1:
+            raise BatchUnsupported(
+                f"stride {self.stride} exceeds the {self._lanes} available "
+                f"lanes at N={program.n}; shrink width or grow the ring"
+            )
+        self.capacity = capacity if max_batch is None else min(capacity, max_batch)
+        # Plain ops whose operand stays shared/untiled (BGV MUL_PLAIN).
+        self._shared_plains = {
+            op.op_id
+            for op in program.ops
+            if op.kind is OpKind.INPUT_PLAIN and self.scheme != "ckks"
+            and any(program.ops[u].kind is OpKind.MUL_PLAIN for u in op.users)
+        }
+        self._input_ids = [
+            op.op_id for op in program.ops if op.kind is OpKind.INPUT
+        ]
+        self._plain_ids = [
+            op.op_id for op in program.ops if op.kind is OpKind.INPUT_PLAIN
+        ]
+
+    # ---------------------------------------------------------------- layout
+    def occupancy(self, k: int) -> float:
+        return k / self.capacity
+
+    def check_request(self, request, *, require_inputs: bool = True) -> None:
+        """Validate one request against this layout without packing.
+
+        Used at admission time so a malformed request is rejected on its
+        own ``submit`` call instead of poisoning the batch it would have
+        joined.  With ``require_inputs`` every INPUT op must carry a value
+        (batched serving cannot generate per-request defaults).
+        """
+        request = _coerce(request)
+        if require_inputs:
+            missing = [op_id for op_id in self._input_ids
+                       if op_id not in request.inputs]
+            if missing:
+                raise ValueError(
+                    f"request is missing values for INPUT ops {missing}; "
+                    f"batched serving needs every encrypted input supplied"
+                )
+        for op_id, values in request.inputs.items():
+            self._checked(values, self.width, f"input {op_id}")
+        for op_id, values in request.plains.items():
+            limit = (self.plain_width if op_id in self._shared_plains
+                     else self.width)
+            self._checked(values, limit, f"plain {op_id}")
+
+    def shared_plain_values(self, request) -> dict[int, np.ndarray]:
+        """This request's MUL_PLAIN operands, normalized (missing -> [1]).
+
+        The serving layer compares these across a bucket at admission time
+        so a request with divergent shared weights is rejected on its own
+        submit instead of failing the batch it would have joined.
+        """
+        request = _coerce(request)
+        return {
+            op_id: np.asarray(request.plains.get(op_id, np.ones(1))).reshape(-1)
+            for op_id in self._shared_plains
+        }
+
+    def _dtype(self):
+        return np.complex128 if self.scheme == "ckks" else np.int64
+
+    def _checked(self, values, limit: int, what: str) -> np.ndarray:
+        arr = np.asarray(values).reshape(-1)
+        if arr.shape[0] > limit:
+            raise ValueError(
+                f"{what} has {arr.shape[0]} values; the batch layout allows "
+                f"at most {limit}"
+            )
+        return arr
+
+    # ------------------------------------------------------------- pack/unpack
+    def pack(self, requests) -> tuple[dict[int, np.ndarray], dict[int, np.ndarray]]:
+        """k requests -> one (inputs, plains) pair for ``repro.run``.
+
+        Request j occupies lanes ``[j*stride, j*stride + width)``.  Missing
+        plains default to ``[1]`` (per request), matching solo-run
+        semantics; every INPUT op must be present in every request.
+        """
+        requests = [_coerce(r) for r in requests]
+        k = len(requests)
+        if not 1 <= k <= self.capacity:
+            raise ValueError(
+                f"batch of {k} requests outside [1, {self.capacity}] for "
+                f"this layout"
+            )
+        dtype = self._dtype()
+        inputs: dict[int, np.ndarray] = {}
+        plains: dict[int, np.ndarray] = {}
+        for op_id in self._input_ids:
+            packed = np.zeros(self._lanes, dtype=dtype)
+            for j, req in enumerate(requests):
+                if op_id not in req.inputs:
+                    raise ValueError(
+                        f"request {j} is missing a value for INPUT op {op_id}"
+                    )
+                vec = self._checked(
+                    req.inputs[op_id], self.width, f"request {j} input {op_id}"
+                )
+                packed[j * self.stride: j * self.stride + vec.shape[0]] = vec
+            inputs[op_id] = packed
+        for op_id in self._plain_ids:
+            if op_id in self._shared_plains:
+                plains[op_id] = self._shared_plain(op_id, requests)
+            else:
+                packed = np.zeros(self._lanes, dtype=dtype)
+                for j, req in enumerate(requests):
+                    vec = self._checked(
+                        req.plains.get(op_id, np.ones(1)), self.width,
+                        f"request {j} plain {op_id}",
+                    )
+                    packed[j * self.stride: j * self.stride + vec.shape[0]] = vec
+                plains[op_id] = packed
+        return inputs, plains
+
+    def _shared_plain(self, op_id: int, requests: list[Request]) -> np.ndarray:
+        """A MUL_PLAIN operand: identical across the batch, passed untiled."""
+        first = self._checked(
+            requests[0].plains.get(op_id, np.ones(1)), self.plain_width,
+            f"shared plain {op_id}",
+        )
+        for j, req in enumerate(requests[1:], start=1):
+            other = np.asarray(req.plains.get(op_id, np.ones(1))).reshape(-1)
+            if other.shape != first.shape or not np.array_equal(other, first):
+                raise BatchUnsupported(
+                    f"plain input {op_id} feeds a BGV MUL_PLAIN and must be "
+                    f"identical across the batch; request {j} differs"
+                )
+        return first
+
+    def unpack(self, outputs: dict[int, np.ndarray], k: int) -> list[dict[int, np.ndarray]]:
+        """One packed output dict -> k per-request output dicts.
+
+        Each request gets its full stride-wide block, which for BGV also
+        carries convolution growth past ``width``; it equals lanes
+        ``[0, stride)`` of a solo run of the same request.
+        """
+        per_request: list[dict[int, np.ndarray]] = []
+        for j in range(k):
+            lo = j * self.stride
+            per_request.append({
+                out_id: np.asarray(vec)[lo: lo + self.stride].copy()
+                for out_id, vec in outputs.items()
+            })
+        return per_request
+
+    # ------------------------------------------------------------------- run
+    def run(self, requests, backend="functional", *, seed: int | None = None,
+            **run_kw):
+        """Pack, execute once on ``backend``, demux.
+
+        Returns ``(per_request_outputs, run_result)`` — the second element
+        is the underlying :class:`~repro.backends.RunResult` so callers can
+        amortize its modeled/measured time over the batch.
+        """
+        requests = list(requests)
+        inputs, plains = self.pack(requests)
+        result = resolve_backend(backend).run(
+            self.program, inputs=inputs, plains=plains, seed=seed, **run_kw
+        )
+        return self.unpack(result.outputs, len(requests)), result

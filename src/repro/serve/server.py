@@ -1,0 +1,462 @@
+"""FheServer: a multi-worker FHE job server with slot-level batching.
+
+The serving loop the ROADMAP's "heavy traffic" north star needs, built on
+the PR 2 backend API plus the registry/batcher of this package:
+
+1. ``submit(program, inputs, plains)`` returns a
+   :class:`concurrent.futures.Future` immediately; admission is bounded
+   (``queue_depth``), so overload applies backpressure instead of growing
+   without limit.
+2. Requests are bucketed by ``Program.signature()``.  A bucket flushes
+   when it reaches the batch capacity (``max_batch`` clamped to the slot
+   layout's) or when its oldest request has waited ``max_wait_ms`` — the
+   classic size-or-deadline policy, so tail latency is bounded even at
+   low traffic.
+3. Worker threads execute flushed batches: compile/keygen artifacts come
+   from the shared :class:`~repro.serve.registry.ProgramRegistry` (so only
+   the first request of a signature pays setup), values are packed by the
+   bucket's :class:`~repro.serve.batcher.SlotBatcher`, the program runs
+   *once* per batch, and per-request outputs are demultiplexed into each
+   request's :class:`RequestResult`.
+4. Programs a batcher cannot pack (rotations, BGV ct x ct MUL) still
+   serve correctly in batches of one — batching is an optimization, never
+   a semantic restriction.
+
+Every result carries latency, queue time, batch size/occupancy, and
+whether setup artifacts were cache hits; :meth:`FheServer.stats`
+aggregates p50/p99 latency, requests/s, mean occupancy, and registry hit
+rates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backends import (
+    F1Backend,
+    FunctionalBackend,
+    ReferenceBackend,
+    RunResult,
+    program_width,
+    resolve_backend,
+    validate_run_args,
+)
+from repro.dsl.program import Program
+from repro.serve.batcher import BatchUnsupported, Request, SlotBatcher
+from repro.serve.registry import ProgramRegistry
+
+#: most-recent samples kept for p50/p99/occupancy telemetry; counters
+#: (requests, batches, errors) stay exact regardless.
+TELEMETRY_WINDOW = 4096
+
+
+@dataclass
+class RequestResult:
+    """What serving one request produced, with per-request accounting."""
+
+    values: dict[int, np.ndarray]
+    latency_ms: float          # submit -> result, as observed by the client
+    queue_ms: float            # submit -> batch execution start
+    batch_size: int
+    batch_occupancy: float     # batch_size / slot capacity of the layout
+    cache_hit: bool            # compile/keygen artifacts came from the registry
+    backend: str
+    backend_time_ms: float | None   # backend time amortized over the batch
+    signature: str
+    stats: dict = field(default_factory=dict)
+
+
+@dataclass
+class _Pending:
+    request: Request
+    future: Future
+    enqueued: float
+
+
+class _Group:
+    """All state for one program signature: batcher, bucket, registry entry."""
+
+    def __init__(self, program: Program, signature: str, width: int,
+                 max_batch: int | None):
+        self.program = program
+        self.signature = signature
+        self.width = width
+        try:
+            self.batcher: SlotBatcher | None = SlotBatcher(
+                program, width=width, max_batch=max_batch
+            )
+            self.capacity = self.batcher.capacity
+        except BatchUnsupported:
+            self.batcher = None
+            self.capacity = 1
+        self.pending: list[_Pending] = []
+        #: shared MUL_PLAIN operands of the *current* bucket; re-established
+        #: whenever the bucket empties, so weights may change between
+        #: batches but never diverge within one.
+        self.shared_plains: dict[int, np.ndarray] | None = None
+        self.lock = threading.Lock()
+
+
+class FheServer:
+    """Batched, multi-worker serving of DSL programs on any backend.
+
+    ``backend`` is a name or instance as in ``repro.run``; the string
+    ``"functional"`` constructs a non-validating backend (validation
+    re-executes the program on the plaintext reference — a test-time
+    check, not a serving-time one; pass an instance to override).  An
+    injected :class:`FunctionalBackend`'s scheme/params/ks settings are
+    honored when building cached contexts; ``seed`` (the server's, not
+    the backend's) seeds each signature's cached encryption keys.
+    """
+
+    def __init__(self, backend="functional", *,
+                 registry: ProgramRegistry | None = None, workers: int = 2,
+                 max_batch: int | None = None, max_wait_ms: float = 10.0,
+                 queue_depth: int = 128, seed: int = 0):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if isinstance(backend, str) and backend == "functional":
+            self.backend = FunctionalBackend(validate=False)
+        else:
+            self.backend = resolve_backend(backend)
+        self.registry = registry if registry is not None else ProgramRegistry()
+        self.max_batch = max_batch
+        self.max_wait_ms = max_wait_ms
+        self.seed = seed
+        self._admission = threading.BoundedSemaphore(queue_depth)
+        self._groups: dict[str, _Group] = {}
+        self._groups_lock = threading.Lock()
+        self._jobs: list[tuple[_Group, list[_Pending]]] = []
+        self._jobs_ready = threading.Condition()
+        self._closed = False   # admission gate (set first during close)
+        self._stop = False     # worker/flusher shutdown
+        self._telemetry_lock = threading.Lock()
+        # Bounded windows: counters stay exact for the server's lifetime,
+        # percentiles/occupancy reflect the most recent traffic.
+        self._latencies_ms: deque[float] = deque(maxlen=TELEMETRY_WINDOW)
+        self._queue_ms: deque[float] = deque(maxlen=TELEMETRY_WINDOW)
+        self._occupancies: deque[float] = deque(maxlen=TELEMETRY_WINDOW)
+        self._completed = 0
+        self._batches = 0
+        self._errors = 0
+        self._first_submit: float | None = None
+        self._last_done: float | None = None
+        self._workers = [
+            threading.Thread(target=self._worker_loop, name=f"fhe-worker-{i}",
+                             daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+        self._flusher = threading.Thread(
+            target=self._flusher_loop, name="fhe-flusher", daemon=True
+        )
+        self._flusher.start()
+
+    # ------------------------------------------------------------ client API
+    def submit(self, program: Program, inputs=None, plains=None, *,
+               width: int | None = None) -> Future:
+        """Enqueue one request; returns a Future[RequestResult].
+
+        ``width`` fixes the per-request vector length for this program's
+        slot layout; it defaults to the longest vector in the first
+        request (later requests must fit the established layout).  Blocks
+        when ``queue_depth`` requests are already in flight.
+
+        Admission is strict for batchable programs: vectors must fit the
+        group's layout and (on value-executing backends) every INPUT op
+        needs a value — rejected here, synchronously, so one malformed
+        request can never fail the innocent requests it would have been
+        batched with.
+        """
+        if self._closed:
+            raise RuntimeError("server is closed")
+        request = Request(inputs=dict(inputs or {}), plains=dict(plains or {}))
+        validate_run_args(program, request.inputs or None,
+                          request.plains or None)
+        group = self._group_for(program, request, width)
+        shared = None
+        if group.batcher is not None:
+            group.batcher.check_request(
+                request, require_inputs=self._executes_values()
+            )
+            shared = group.batcher.shared_plain_values(request)
+        future: Future = Future()
+        self._admission.acquire()
+        now = time.perf_counter()
+        with self._telemetry_lock:
+            if self._first_submit is None:
+                self._first_submit = now
+        ready = None
+        try:
+            with group.lock:
+                if self._closed:
+                    # close() set the flag before its final flush; anything
+                    # appended now would be stranded, so refuse instead.
+                    raise RuntimeError("server is closed")
+                if shared:
+                    if not group.pending:
+                        group.shared_plains = shared
+                    else:
+                        self._check_shared(group, shared)
+                group.pending.append(_Pending(request, future, now))
+                if len(group.pending) >= group.capacity:
+                    ready = group.pending
+                    group.pending = []
+        except Exception:
+            self._admission.release()
+            raise
+        if ready is not None:
+            self._dispatch(group, ready)
+        return future
+
+    def request(self, program: Program, inputs=None, plains=None, *,
+                width: int | None = None) -> RequestResult:
+        """Synchronous convenience: submit and wait."""
+        return self.submit(program, inputs, plains, width=width).result()
+
+    def flush(self) -> None:
+        """Dispatch every pending bucket now, regardless of age or size."""
+        with self._groups_lock:
+            groups = list(self._groups.values())
+        for group in groups:
+            with group.lock:
+                ready, group.pending = group.pending, []
+            if ready:
+                self._dispatch(group, ready)
+
+    def close(self) -> None:
+        """Flush, drain, and stop the worker/flusher threads."""
+        with self._groups_lock:
+            if self._closed:
+                return
+            self._closed = True
+        # _closed is set before this flush, so a racing submit either got
+        # its request into a bucket we are about to drain or observes the
+        # flag under the group lock and raises — no future is stranded.
+        self.flush()
+        with self._jobs_ready:
+            self._stop = True
+            self._jobs_ready.notify_all()
+        for thread in self._workers:
+            thread.join()
+        self._flusher.join()
+
+    def __enter__(self) -> "FheServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- internals
+    def _executes_values(self) -> bool:
+        """Whether the backend encrypts/evaluates request values (as opposed
+        to the analytic models, which only need the op graph)."""
+        return isinstance(self.backend, (FunctionalBackend, ReferenceBackend))
+
+    @staticmethod
+    def _check_shared(group: _Group, shared: dict[int, np.ndarray]) -> None:
+        """Reject a request whose shared weights diverge from its bucket."""
+        for op_id, values in shared.items():
+            want = group.shared_plains.get(op_id)
+            if want is None or (values.shape == want.shape
+                                and np.array_equal(values, want)):
+                continue
+            raise BatchUnsupported(
+                f"plain input {op_id} feeds a BGV MUL_PLAIN and must match "
+                f"the weights of the batch currently forming; resubmit "
+                f"after the bucket flushes or align the weights"
+            )
+
+    def _group_for(self, program: Program, request: Request,
+                   width: int | None) -> _Group:
+        signature = program.signature()
+        with self._groups_lock:
+            group = self._groups.get(signature)
+            if group is None:
+                if width is None:
+                    lengths = [np.asarray(v).shape[0]
+                               for v in request.inputs.values()]
+                    width = max(lengths, default=program_width(program))
+                group = _Group(program, signature, width, self.max_batch)
+                self._groups[signature] = group
+            return group
+
+    def _dispatch(self, group: _Group, batch: list[_Pending]) -> None:
+        with self._jobs_ready:
+            self._jobs.append((group, batch))
+            self._jobs_ready.notify()
+
+    def _flusher_loop(self) -> None:
+        tick = min(max(self.max_wait_ms / 4.0, 0.5), 50.0) / 1e3
+        while True:
+            with self._jobs_ready:
+                if self._stop:
+                    return
+            deadline = time.perf_counter() - self.max_wait_ms / 1e3
+            with self._groups_lock:
+                groups = list(self._groups.values())
+            for group in groups:
+                ready = None
+                with group.lock:
+                    if group.pending and group.pending[0].enqueued <= deadline:
+                        ready, group.pending = group.pending, []
+                if ready:
+                    self._dispatch(group, ready)
+            time.sleep(tick)
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._jobs_ready:
+                while not self._jobs and not self._stop:
+                    self._jobs_ready.wait()
+                if not self._jobs and self._stop:
+                    return
+                group, batch = self._jobs.pop(0)
+            try:
+                self._execute(group, batch)
+            except Exception as exc:  # noqa: BLE001 — delivered to futures
+                with self._telemetry_lock:
+                    self._errors += len(batch)
+                for pending in batch:
+                    if not pending.future.done():
+                        pending.future.set_exception(exc)
+            finally:
+                for _ in batch:
+                    self._admission.release()
+
+    def _run_batch(self, group: _Group,
+                   batch: list[_Pending]) -> tuple[list[dict], RunResult, bool]:
+        """Execute one batch; returns per-request outputs + cache hit flag."""
+        program = group.program
+        requests = [p.request for p in batch]
+        if isinstance(self.backend, FunctionalBackend):
+            entry, hit = self.registry.context_for(
+                program, scheme=self.backend.scheme,
+                prime_bits=self.backend.prime_bits,
+                plaintext_modulus=self.backend.plaintext_modulus,
+                seed=self.seed, ks_variant=self.backend.ks_variant,
+                params=self.backend.params,
+            )
+            with entry.lock:
+                if group.batcher is not None:
+                    outputs, result = group.batcher.run(
+                        requests, self.backend, context=entry.context
+                    )
+                else:
+                    outputs, result = self._run_singly(
+                        program, requests, context=entry.context
+                    )
+            return outputs, result, hit
+        if isinstance(self.backend, F1Backend):
+            entry, hit = self.registry.compiled_for(
+                program, self.backend.config,
+                scheduler=self.backend.scheduler,
+                ks_choice=self.backend.ks_choice, check=self.backend.check,
+            )
+            result = self.backend.run(program, compiled=entry.compiled)
+            k = len(batch)
+            outputs = (group.batcher.unpack(result.outputs, k)
+                       if group.batcher is not None else [{} for _ in batch])
+            return outputs, result, hit
+        if not self._executes_values():
+            # Analytic models (cpu, heax): one run models the whole batch;
+            # there are no values to pack and no outputs to demux.
+            result = self.backend.run(program)
+            return [{} for _ in batch], result, False
+        # Reference backend: packs and executes values, no cacheable setup.
+        if group.batcher is not None:
+            outputs, result = group.batcher.run(requests, self.backend)
+        else:
+            outputs, result = self._run_singly(program, requests)
+        return outputs, result, False
+
+    def _run_singly(self, program: Program, requests: list[Request],
+                    **run_kw) -> tuple[list[dict], RunResult]:
+        """Fallback for unbatchable programs: one backend run per request."""
+        outputs = []
+        result: RunResult | None = None
+        for req in requests:
+            result = self.backend.run(
+                program, inputs=req.inputs or None, plains=req.plains or None,
+                **run_kw,
+            )
+            outputs.append(result.outputs)
+        return outputs, result
+
+    def _execute(self, group: _Group, batch: list[_Pending]) -> None:
+        # Claim every future up front: one that a client already cancelled
+        # is simply skipped, and can no longer flip to cancelled while we
+        # deliver results below.
+        live = [p.future.set_running_or_notify_cancel() for p in batch]
+        started = time.perf_counter()
+        outputs, result, hit = self._run_batch(group, batch)
+        done = time.perf_counter()
+        k = len(batch)
+        batched = group.batcher is not None
+        occupancy = group.batcher.occupancy(k) if batched else 1.0
+        time_share = (result.time_ms / k
+                      if result.time_ms is not None and batched else result.time_ms)
+        for pending, values, alive in zip(batch, outputs, live):
+            if not alive:
+                continue
+            pending.future.set_result(RequestResult(
+                values=values,
+                latency_ms=(done - pending.enqueued) * 1e3,
+                queue_ms=(started - pending.enqueued) * 1e3,
+                batch_size=k,
+                batch_occupancy=occupancy,
+                cache_hit=hit,
+                backend=result.backend,
+                backend_time_ms=time_share,
+                signature=group.signature,
+                stats={"time_kind": result.stats.get("time_kind")},
+            ))
+        with self._telemetry_lock:
+            self._batches += 1
+            self._completed += k
+            self._occupancies.append(occupancy)
+            self._last_done = done
+            for pending in batch:
+                self._latencies_ms.append((done - pending.enqueued) * 1e3)
+                self._queue_ms.append((started - pending.enqueued) * 1e3)
+
+    # -------------------------------------------------------------- telemetry
+    def stats(self) -> dict:
+        """Aggregate serving telemetry since construction."""
+        with self._telemetry_lock:
+            latencies = np.asarray(self._latencies_ms)
+            queue = np.asarray(self._queue_ms)
+            span = ((self._last_done - self._first_submit)
+                    if self._last_done and self._first_submit else 0.0)
+            out = {
+                "requests": self._completed,
+                "batches": self._batches,
+                "errors": self._errors,
+                "requests_per_s": self._completed / span if span > 0 else 0.0,
+                "mean_batch_size": (self._completed / self._batches
+                                    if self._batches else 0.0),
+                "mean_occupancy": (float(np.mean(self._occupancies))
+                                   if self._occupancies else 0.0),
+                "latency_ms": _percentiles(latencies),
+                "queue_ms": _percentiles(queue),
+            }
+        out["registry"] = self.registry.stats()
+        return out
+
+
+def _percentiles(values: np.ndarray) -> dict:
+    if values.size == 0:
+        return {"p50": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "p50": float(np.percentile(values, 50)),
+        "p99": float(np.percentile(values, 99)),
+        "mean": float(np.mean(values)),
+        "max": float(np.max(values)),
+    }

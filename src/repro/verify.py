@@ -3,18 +3,25 @@
 Usage (any checkout, no PYTHONPATH fiddling needed)::
 
     python -m repro.verify               # everything
-    python -m repro.verify --fast        # tier-1 only (skip perf + examples)
+    python -m repro.verify --fast        # quick gate: unit tests minus @slow
     python -m repro.verify --skip-perf   # e.g. on machines without a baseline
 
 Steps, in order:
 
 1. **tier-1** — ``pytest -x -q tests benchmarks`` (unit + table/figure
-   regeneration suites, including the backend-equivalence properties);
+   regeneration suites, including the backend-equivalence properties and
+   the serving-runtime stress tests);
 2. **perf gate** — ``benchmarks/check_perf.py`` times the batched-engine hot
    kernels against ``BENCH_engine.json`` (non-zero past 2.5x baseline);
-3. **examples smoke** — the four ``examples/*.py`` mains at reduced sizes
+3. **examples smoke** — the ``examples/*.py`` mains at reduced sizes
    (``tests/test_examples.py``), re-run standalone so an example regression
    is attributed even when tier-1 stopped early on an unrelated failure.
+
+``--fast`` is the inner-loop / pre-merge gate: it runs only ``tests/`` with
+``-m "not slow"`` (deselecting the bootstrapping/GSW functional suites, see
+``pytest.ini``) and skips the perf gate and examples smoke, so fast checks
+— including the multi-threaded serving stress tests — finish in seconds
+instead of minutes.
 
 Exits non-zero if any step fails, so CI can gate on this single command.
 """
@@ -52,7 +59,8 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.verify", description=__doc__.splitlines()[0]
     )
     parser.add_argument("--fast", action="store_true",
-                        help="tier-1 only (skip perf gate and examples smoke)")
+                        help="quick gate: tests/ minus @slow; skip perf gate "
+                             "and examples smoke")
     parser.add_argument("--skip-perf", action="store_true",
                         help="skip the hot-kernel perf regression gate")
     parser.add_argument("--skip-examples", action="store_true",
@@ -60,9 +68,13 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     py = sys.executable
-    results = [
-        _step("tier-1", [py, "-m", "pytest", "-x", "-q", "tests", "benchmarks"])
-    ]
+    if args.fast:
+        tier1 = _step("tier-1 (fast)", [py, "-m", "pytest", "-x", "-q",
+                                        "-m", "not slow", "tests"])
+    else:
+        tier1 = _step("tier-1", [py, "-m", "pytest", "-x", "-q",
+                                 "tests", "benchmarks"])
+    results = [tier1]
     if not (args.fast or args.skip_perf):
         results.append(
             _step("perf gate", [py, str(REPO_ROOT / "benchmarks" / "check_perf.py")])

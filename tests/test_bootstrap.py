@@ -11,6 +11,8 @@ import pytest
 
 from repro.fhe.bootstrap import BitBootstrapper
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def booter():

@@ -42,3 +42,9 @@ def test_encrypted_database():
 def test_design_space():
     design_space = load_example("design_space")
     design_space.sweep(scale=0.05)
+
+
+def test_serving():
+    serving = load_example("serving")
+    serving.serving_demo(n=256, clients=12)
+    serving.modeled_demo(n=4096, level=4)

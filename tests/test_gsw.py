@@ -6,6 +6,8 @@ import pytest
 from repro.fhe.gsw import GswContext
 from repro.poly.ntt import naive_negacyclic_multiply
 
+pytestmark = pytest.mark.slow
+
 N = 256
 T = 256
 

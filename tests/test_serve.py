@@ -1,0 +1,624 @@
+"""Serving runtime: registry, slot batching, job server, run validation.
+
+The serving-layer invariants:
+
+- ``Program.signature()`` keys structural identity (names don't matter,
+  wiring does);
+- registry-cached contexts/compiled programs produce values bit-identical
+  to fresh compile/keygen runs;
+- pack -> run -> unpack equals k sequential runs (bit-identical BGV,
+  within tolerance CKKS), and unsound packings are rejected;
+- the server survives concurrent mixed-signature traffic and reports
+  truthful telemetry;
+- malformed ``repro.run`` requests fail fast with clear errors.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.backends import validate_run_args
+from repro.dsl.program import Program
+from repro.serve import (
+    BatchUnsupported,
+    FheServer,
+    ProgramRegistry,
+    Request,
+    SlotBatcher,
+    unbatchable_reason,
+)
+
+N = 256
+WIDTH = 8
+
+
+def linear_bgv(n=N, name="linear", level=3):
+    p = Program(n=n, scheme="bgv", name=name)
+    x = p.input(level, name="x")
+    w = p.input_plain(level, name="w")
+    b = p.input_plain(level, name="b")
+    p.output(p.add_plain(p.mul_plain(x, w), b))
+    return p
+
+
+def poly_ckks(n=N, name="poly", level=4):
+    p = Program(n=n, scheme="ckks", name=name)
+    x, y = p.input(level), p.input(level)
+    p.output(p.add(p.mul(x, y), x))
+    return p
+
+
+def bgv_requests(program, count, *, width=WIDTH, seed=0, t=256):
+    rng = np.random.default_rng(seed)
+    x, w, b = (op.op_id for op in program.ops[:3])
+    shared_w = rng.integers(0, t, width)
+    return [
+        Request(inputs={x: rng.integers(0, t, width)},
+                plains={w: shared_w, b: rng.integers(0, t, width)})
+        for _ in range(count)
+    ]
+
+
+def ckks_requests(program, count, *, width=WIDTH, seed=0):
+    rng = np.random.default_rng(seed)
+    x, y = program.ops[0].op_id, program.ops[1].op_id
+    return [
+        Request(inputs={x: rng.uniform(-1, 1, width),
+                        y: rng.uniform(-1, 1, width)})
+        for _ in range(count)
+    ]
+
+
+class TestSignature:
+    def test_names_do_not_matter(self):
+        a, b = linear_bgv(name="a"), linear_bgv(name="b")
+        assert a.signature() == b.signature()
+
+    def test_structure_matters(self):
+        base = linear_bgv()
+        assert base.signature() != poly_ckks().signature()
+        assert base.signature() != linear_bgv(n=2 * N).signature()
+        assert base.signature() != linear_bgv(level=4).signature()
+        extra = linear_bgv()
+        extra.output(extra.input(3))
+        assert base.signature() != extra.signature()
+
+    def test_rotation_amount_matters(self):
+        def rot(steps):
+            p = Program(n=N, scheme="bgv")
+            p.output(p.rotate(p.input(2), steps))
+            return p.signature()
+
+        assert rot(1) != rot(2)
+
+    def test_scheme_matters(self):
+        def prog(scheme):
+            p = Program(n=N, scheme=scheme)
+            p.output(p.add(p.input(2), p.input(2)))
+            return p.signature()
+
+        assert prog("bgv") != prog("ckks")
+
+
+class TestRegistry:
+    def test_context_cache_hit_bit_identity(self):
+        """Registry-cached keys decrypt the same values as fresh keygen."""
+        registry = ProgramRegistry()
+        program = linear_bgv()
+        request = bgv_requests(program, 1)[0]
+        entry1, hit1 = registry.context_for(program, seed=5)
+        cold = repro.FunctionalBackend(validate=True).run(
+            program, inputs=request.inputs, plains=request.plains,
+            context=entry1.context,
+        )
+        # Same structure, different Program object: still one cache entry.
+        entry2, hit2 = registry.context_for(linear_bgv(name="rebuilt"), seed=5)
+        assert entry2 is entry1 and not hit1 and hit2
+        warm = repro.FunctionalBackend(validate=True).run(
+            program, inputs=request.inputs, plains=request.plains,
+            context=entry2.context,
+        )
+        fresh = repro.run(program, backend=repro.FunctionalBackend(seed=5),
+                          inputs=request.inputs, plains=request.plains)
+        for key in fresh.outputs:
+            assert np.array_equal(cold.outputs[key], fresh.outputs[key])
+            assert np.array_equal(warm.outputs[key], fresh.outputs[key])
+
+    def test_compiled_cache_hit_identity(self):
+        registry = ProgramRegistry()
+        program = poly_ckks()
+        entry1, hit1 = registry.compiled_for(program)
+        entry2, hit2 = registry.compiled_for(poly_ckks(name="again"))
+        assert entry2 is entry1 and not hit1 and hit2
+        fresh = repro.run(program, backend="f1")
+        assert entry1.compiled.time_ms == fresh.time_ms
+        assert entry1.compiled.makespan == fresh.stats["compiled"].makespan
+        reused = repro.F1Backend().run(program, compiled=entry1.compiled)
+        assert reused.time_ms == fresh.time_ms
+        assert reused.stats["compile_reused"]
+
+    def test_distinct_params_distinct_entries(self):
+        registry = ProgramRegistry()
+        program = linear_bgv()
+        entry1, _ = registry.context_for(program, seed=0)
+        entry2, _ = registry.context_for(program, seed=1)
+        assert entry1 is not entry2
+        assert registry.stats()["contexts"] == 2
+
+    def test_stats_hit_rate(self):
+        registry = ProgramRegistry()
+        program = linear_bgv()
+        registry.context_for(program)
+        registry.context_for(program)
+        registry.context_for(program)
+        stats = registry.stats()
+        assert stats["hits"] == 2 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+
+    def test_compiled_check_upgraded_on_demand(self):
+        """A check=False artifact is checked (not re-compiled) when a
+        later caller requires check=True."""
+        registry = ProgramRegistry()
+        program = poly_ckks()
+        entry1, _ = registry.compiled_for(program, check=False)
+        assert not entry1.checked
+        entry2, hit = registry.compiled_for(program, check=True)
+        assert hit and entry2 is entry1 and entry1.checked
+
+    def test_explicit_params_override_and_key(self):
+        params = repro.FheParams.build(n=N, levels=5, prime_bits=28,
+                                       plaintext_modulus=256)
+        registry = ProgramRegistry()
+        program = linear_bgv()
+        derived, _ = registry.context_for(program)
+        explicit, hit = registry.context_for(program, params=params)
+        assert not hit and explicit is not derived
+        assert explicit.params is params
+        again, hit = registry.context_for(program, params=params)
+        assert hit and again is explicit
+
+    def test_concurrent_cold_start_builds_once(self):
+        registry = ProgramRegistry()
+        program = poly_ckks()
+        entries = []
+
+        def grab():
+            entries.append(registry.context_for(program)[0])
+
+        threads = [threading.Thread(target=grab) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(e is entries[0] for e in entries)
+        assert registry.stats()["misses"] == 1
+
+
+class TestSlotBatcher:
+    def test_bgv_round_trip_matches_sequential(self):
+        program = linear_bgv()
+        batcher = SlotBatcher(program, width=WIDTH)
+        requests = bgv_requests(program, 5)
+        outs, _ = batcher.run(requests, repro.FunctionalBackend("bgv"), seed=3)
+        for j, request in enumerate(requests):
+            solo = repro.run(
+                program, backend=repro.FunctionalBackend("bgv"),
+                inputs=request.inputs, plains=request.plains, seed=11,
+            )
+            for out_id, solo_vec in solo.outputs.items():
+                assert np.array_equal(
+                    outs[j][out_id] % 256,
+                    np.asarray(solo_vec)[: batcher.stride] % 256,
+                ), f"request {j} not bit-identical"
+
+    def test_ckks_round_trip_matches_sequential(self):
+        program = poly_ckks()
+        batcher = SlotBatcher(program, width=WIDTH)
+        requests = ckks_requests(program, 6)
+        outs, _ = batcher.run(requests, repro.FunctionalBackend("ckks"), seed=3)
+        for j, request in enumerate(requests):
+            solo = repro.run(
+                program, backend=repro.FunctionalBackend("ckks"),
+                inputs=request.inputs, plains=request.plains, seed=11,
+            )
+            for out_id, solo_vec in solo.outputs.items():
+                err = np.max(np.abs(
+                    outs[j][out_id][:WIDTH] - np.asarray(solo_vec)[:WIDTH]
+                ))
+                assert err < 2e-2, f"request {j} error {err}"
+
+    def test_bgv_stride_accounts_for_convolution_growth(self):
+        program = linear_bgv()
+        batcher = SlotBatcher(program, width=WIDTH)
+        # one MUL_PLAIN: stride = width + (width - 1)
+        assert batcher.stride == 2 * WIDTH - 1
+        assert batcher.capacity == N // batcher.stride
+
+    def test_ckks_capacity_uses_half_ring(self):
+        batcher = SlotBatcher(poly_ckks(), width=WIDTH)
+        assert batcher.stride == WIDTH
+        assert batcher.capacity == (N // 2) // WIDTH
+
+    def test_rotation_is_unbatchable(self):
+        p = Program(n=N, scheme="ckks")
+        p.output(p.rotate(p.input(2), 1))
+        assert "ROTATE" in unbatchable_reason(p)
+        with pytest.raises(BatchUnsupported, match="ROTATE"):
+            SlotBatcher(p, width=WIDTH)
+
+    def test_bgv_ct_mul_is_unbatchable(self):
+        p = Program(n=N, scheme="bgv")
+        x, y = p.input(3), p.input(3)
+        p.output(p.mul(x, y))
+        assert "convolution" in unbatchable_reason(p)
+        with pytest.raises(BatchUnsupported, match="convolution"):
+            SlotBatcher(p, width=WIDTH)
+
+    def test_ckks_ct_mul_is_batchable(self):
+        assert unbatchable_reason(poly_ckks()) is None
+
+    def test_mixed_plain_consumer_is_unbatchable(self):
+        p = Program(n=N, scheme="bgv")
+        x = p.input(3)
+        shared = p.input_plain(3)
+        p.output(p.add_plain(p.mul_plain(x, shared), shared))
+        assert "feeds both" in unbatchable_reason(p)
+
+    def test_divergent_shared_plain_rejected(self):
+        program = linear_bgv()
+        batcher = SlotBatcher(program, width=WIDTH)
+        requests = bgv_requests(program, 2)
+        w = program.ops[1].op_id
+        requests[1].plains[w] = requests[1].plains[w] + 1
+        with pytest.raises(BatchUnsupported, match="identical across"):
+            batcher.pack(requests)
+
+    def test_over_capacity_rejected(self):
+        program = poly_ckks()
+        batcher = SlotBatcher(program, width=WIDTH)
+        requests = ckks_requests(program, batcher.capacity + 1)
+        with pytest.raises(ValueError, match="outside"):
+            batcher.pack(requests)
+
+    def test_oversized_request_vector_rejected(self):
+        program = poly_ckks()
+        batcher = SlotBatcher(program, width=WIDTH)
+        request = ckks_requests(program, 1)[0]
+        request.inputs[program.ops[0].op_id] = np.ones(WIDTH + 1)
+        with pytest.raises(ValueError, match="at most"):
+            batcher.pack([request])
+
+    def test_underfilled_batch_occupancy(self):
+        batcher = SlotBatcher(poly_ckks(), width=WIDTH, max_batch=8)
+        assert batcher.capacity == 8
+        assert batcher.occupancy(2) == pytest.approx(0.25)
+
+
+class TestFheServer:
+    def test_serves_and_matches_solo_runs(self):
+        program = poly_ckks()
+        requests = ckks_requests(program, 12)
+        with FheServer(max_batch=4, max_wait_ms=5.0, workers=2) as server:
+            futures = [server.submit(program, inputs=r.inputs)
+                       for r in requests]
+            results = [f.result(timeout=60) for f in futures]
+            stats = server.stats()
+        for request, result in zip(requests, results):
+            x, y = program.ops[0].op_id, program.ops[1].op_id
+            want = np.asarray(request.inputs[x]) * request.inputs[y] \
+                + request.inputs[x]
+            got = next(iter(result.values.values()))[:WIDTH]
+            assert np.max(np.abs(got - want)) < 2e-2
+            assert result.batch_size >= 1
+            assert 0 < result.batch_occupancy <= 1
+            assert result.latency_ms >= result.queue_ms >= 0
+        assert stats["requests"] == 12
+        assert stats["batches"] <= 4  # batched, not one run per request
+        assert stats["registry"]["hit_rate"] > 0
+
+    def test_unbatchable_program_still_served(self):
+        p = Program(n=N, scheme="ckks", name="rotator")
+        x = p.input(3)
+        p.output(p.add(p.rotate(x, 1), x))
+        data = np.arange(8) / 8.0
+        with FheServer(max_wait_ms=2.0) as server:
+            result = server.request(p, inputs={x.op_id: data})
+        slots = N // 2
+        padded = np.zeros(slots)
+        padded[:8] = data
+        want = (np.roll(padded, -1) + padded)[:8]
+        assert np.max(np.abs(result.values[p.ops[-1].op_id][:8] - want)) < 2e-2
+        assert result.batch_size == 1 and result.batch_occupancy == 1.0
+
+    def test_max_wait_flushes_partial_batch(self):
+        program = poly_ckks()
+        request = ckks_requests(program, 1)[0]
+        with FheServer(max_batch=64, max_wait_ms=20.0) as server:
+            result = server.submit(program, inputs=request.inputs).result(timeout=60)
+        assert result.batch_size == 1
+        assert result.batch_occupancy < 1.0
+
+    def test_f1_backend_amortizes_modeled_time(self):
+        program = poly_ckks()
+        requests = ckks_requests(program, 8)
+        with FheServer(backend="f1", max_batch=8, max_wait_ms=5.0) as server:
+            futures = [server.submit(program, inputs=r.inputs, width=WIDTH)
+                       for r in requests]
+            server.flush()
+            results = [f.result(timeout=60) for f in futures]
+        solo = repro.run(program, backend="f1")
+        full_batch = [r for r in results if r.batch_size == 8]
+        assert full_batch, "expected at least one full batch"
+        assert full_batch[0].backend_time_ms == pytest.approx(solo.time_ms / 8)
+
+    def test_mixed_signature_concurrent_stress(self):
+        """Multi-threaded submitters, several signatures, all bit-checked."""
+        bgv = linear_bgv()
+        ckks = poly_ckks()
+        bgv_reqs = bgv_requests(bgv, 10)
+        ckks_reqs = ckks_requests(ckks, 10)
+        errors = []
+        with FheServer(max_batch=4, max_wait_ms=5.0, workers=3,
+                       queue_depth=16) as server:
+            def client(program, requests):
+                try:
+                    futures = [
+                        server.submit(program, inputs=r.inputs,
+                                      plains=r.plains or None)
+                        for r in requests
+                    ]
+                    for r, f in zip(requests, futures):
+                        result = f.result(timeout=120)
+                        solo = repro.run(
+                            program,
+                            backend=repro.FunctionalBackend(validate=False),
+                            inputs=r.inputs, plains=r.plains or None, seed=1,
+                        )
+                        for out_id, want in solo.outputs.items():
+                            got = result.values[out_id]
+                            want = np.asarray(want)[: got.shape[0]]
+                            if program.scheme == "ckks":
+                                assert np.max(np.abs(got - want)) < 2e-2
+                            else:
+                                assert np.array_equal(got % 256, want % 256)
+                except Exception as exc:  # noqa: BLE001 — surfaced below
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=client, args=(bgv, bgv_reqs)),
+                threading.Thread(target=client, args=(ckks, ckks_reqs)),
+                threading.Thread(target=client, args=(bgv, bgv_reqs)),
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            stats = server.stats()
+        assert not errors, errors[:1]
+        assert stats["requests"] == 30
+        assert stats["errors"] == 0
+        # One keygen per (signature, params): 2 signatures -> 2 context misses.
+        assert stats["registry"]["contexts"] == 2
+        assert stats["registry"]["hit_rate"] > 0.5
+
+    def test_injected_backend_params_honored(self):
+        """Server-built contexts use the injected backend's explicit params."""
+        params = repro.FheParams.build(n=N, levels=5, prime_bits=28,
+                                       plaintext_modulus=256)
+        backend = repro.FunctionalBackend("bgv", params=params, validate=False)
+        program = linear_bgv()
+        request = bgv_requests(program, 1)[0]
+        with FheServer(backend=backend, max_batch=1, max_wait_ms=5.0) as server:
+            server.request(program, inputs=request.inputs,
+                           plains=request.plains)
+            entry, hit = server.registry.context_for(
+                program, scheme="bgv", params=params,
+            )
+        assert hit and entry.params is params
+
+    def test_submit_after_close_raises(self):
+        program = poly_ckks()
+        request = ckks_requests(program, 1)[0]
+        server = FheServer()
+        server.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            server.submit(program, inputs=request.inputs)
+
+    def test_malformed_request_rejected_at_submit(self):
+        """A bad request fails its own submit, never its batch-mates."""
+        program = poly_ckks()
+        good = ckks_requests(program, 3)
+        bad = {program.ops[0].op_id: np.ones(2 * WIDTH),   # exceeds layout
+               program.ops[1].op_id: np.ones(WIDTH)}
+        with FheServer(max_batch=4, max_wait_ms=5.0) as server:
+            futures = [server.submit(program, inputs=r.inputs, width=WIDTH)
+                       for r in good]
+            with pytest.raises(ValueError, match="at most"):
+                server.submit(program, inputs=bad, width=WIDTH)
+            server.flush()
+            results = [f.result(timeout=60) for f in futures]
+            stats = server.stats()
+        assert all(r.values for r in results)
+        assert stats["errors"] == 0
+
+    def test_missing_inputs_rejected_at_submit_when_batched(self):
+        program = poly_ckks()
+        with FheServer(max_batch=4, max_wait_ms=5.0) as server:
+            # Establish the layout, then submit with no input values.
+            server.submit(program,
+                          inputs=ckks_requests(program, 1)[0].inputs,
+                          width=WIDTH)
+            with pytest.raises(ValueError, match="missing values"):
+                server.submit(program)
+
+    def test_divergent_weights_rejected_at_submit(self):
+        """Mismatched shared weights fail their own submit, not the bucket —
+        and a new bucket may establish fresh weights."""
+        program = linear_bgv()
+        requests = bgv_requests(program, 2)
+        w = program.ops[1].op_id
+        requests[1].plains[w] = requests[1].plains[w] + 1  # divergent weights
+        with FheServer(max_batch=4, max_wait_ms=10.0) as server:
+            future = server.submit(program, inputs=requests[0].inputs,
+                                   plains=requests[0].plains)
+            with pytest.raises(BatchUnsupported, match="batch currently"):
+                server.submit(program, inputs=requests[1].inputs,
+                              plains=requests[1].plains)
+            server.flush()
+            assert future.result(timeout=60).values
+            # Bucket flushed: the "divergent" weights are now just the next
+            # batch's weights.
+            result = server.request(program, inputs=requests[1].inputs,
+                                    plains=requests[1].plains)
+            stats = server.stats()
+        assert result.values and stats["errors"] == 0
+
+    def test_batch_level_error_delivered_to_futures(self):
+        """Errors only detectable at execution time still reach the futures."""
+        program = poly_ckks()
+        backend = repro.FunctionalBackend("ckks", validate=True, tolerance=0.0)
+        request = ckks_requests(program, 1)[0]
+        with FheServer(backend=backend, max_batch=1, max_wait_ms=5.0) as server:
+            future = server.submit(program, inputs=request.inputs)
+            with pytest.raises(AssertionError, match="exceeds tolerance"):
+                future.result(timeout=60)
+            stats = server.stats()
+        assert stats["errors"] == 1
+
+    def test_cancelled_future_does_not_poison_batch(self):
+        program = poly_ckks()
+        requests = ckks_requests(program, 3)
+        with FheServer(max_batch=4, max_wait_ms=50.0) as server:
+            futures = [server.submit(program, inputs=r.inputs, width=WIDTH)
+                       for r in requests]
+            cancelled = futures[1].cancel()  # still queued: cancel succeeds
+            server.flush()
+            assert futures[0].result(timeout=60).values
+            assert futures[2].result(timeout=60).values
+            stats = server.stats()
+        assert cancelled and futures[1].cancelled()
+        assert stats["errors"] == 0
+
+    def test_modeled_backend_tolerates_missing_inputs(self):
+        """cpu/heax model the op graph; requests need not carry values."""
+        program = poly_ckks()
+        with FheServer(backend="cpu", max_batch=2, max_wait_ms=5.0) as server:
+            futures = [server.submit(program, width=WIDTH) for _ in range(2)]
+            server.flush()
+            results = [f.result(timeout=60) for f in futures]
+        assert all(r.values == {} for r in results)
+        assert all(r.backend == "cpu" for r in results)
+
+
+class TestRunValidation:
+    def test_empty_program(self):
+        with pytest.raises(ValueError, match="empty"):
+            repro.run(Program(n=64, name="void"), backend="reference")
+
+    def test_unknown_input_op(self):
+        p = Program(n=64)
+        x = p.input(2)
+        p.output(x)
+        with pytest.raises(ValueError, match="not INPUT ops"):
+            repro.run(p, backend="reference", inputs={99: np.ones(4)})
+
+    def test_plain_key_in_inputs(self):
+        p = Program(n=64)
+        x = p.input(2)
+        w = p.input_plain(2)
+        p.output(p.mul_plain(x, w))
+        with pytest.raises(ValueError, match="not INPUT ops"):
+            repro.run(p, backend="reference",
+                      inputs={x.op_id: np.ones(4), w.op_id: np.ones(4)})
+
+    def test_missing_input_value(self):
+        p = Program(n=64)
+        x, y = p.input(2), p.input(2)
+        p.output(p.add(x, y))
+        with pytest.raises(ValueError, match="missing values"):
+            repro.run(p, backend="reference", inputs={x.op_id: np.ones(4)})
+
+    def test_missing_plain_is_allowed(self):
+        p = Program(n=64)
+        x = p.input(2)
+        p.output(p.mul_plain(x))
+        result = repro.run(p, backend="functional", plains={})
+        assert result.stats["validated"]
+
+    def test_overlong_vector(self):
+        p = Program(n=64)
+        x = p.input(2)
+        p.output(x)
+        with pytest.raises(ValueError, match="at most 64"):
+            repro.run(p, backend="reference", inputs={x.op_id: np.ones(65)})
+
+    def test_ckks_width_is_half_ring(self):
+        p = Program(n=64, scheme="ckks")
+        x = p.input(2)
+        p.output(x)
+        with pytest.raises(ValueError, match="at most 32"):
+            validate_run_args(p, {x.op_id: np.ones(33)}, None)
+
+    def test_non_vector_rejected(self):
+        p = Program(n=64)
+        x = p.input(2)
+        p.output(x)
+        with pytest.raises(ValueError, match="1-D"):
+            repro.run(p, backend="reference",
+                      inputs={x.op_id: np.ones((2, 2))})
+
+    def test_modeled_backends_validate_too(self):
+        p = Program(n=64)
+        x = p.input(2)
+        p.output(x)
+        for backend in ("f1", "cpu", "heax"):
+            with pytest.raises(ValueError, match="not INPUT ops"):
+                repro.run(p, backend=backend, inputs={42: np.ones(4)})
+
+
+class TestSeedThreading:
+    def test_same_seed_same_generated_outputs(self):
+        program = poly_ckks()
+        a = repro.run(program, backend="functional", seed=42)
+        b = repro.run(program, backend="functional", seed=42)
+        for key in a.outputs:
+            assert np.array_equal(a.outputs[key], b.outputs[key])
+
+    def test_different_seed_different_inputs(self):
+        program = linear_bgv()
+        a = repro.run(program, backend="reference", seed=1)
+        b = repro.run(program, backend="reference", seed=2)
+        assert any(not np.array_equal(a.outputs[k], b.outputs[k])
+                   for k in a.outputs)
+
+    def test_seed_shared_by_functional_and_reference(self):
+        """Same seed => same generated inputs on both value backends."""
+        program = linear_bgv()
+        functional = repro.run(program, backend="functional", seed=9)
+        reference = repro.run(program, backend="reference", seed=9)
+        for key in reference.outputs:
+            assert np.array_equal(
+                functional.outputs[key] % 256, reference.outputs[key] % 256
+            )
+
+    def test_concurrent_seeded_runs_deterministic(self):
+        """Workers with explicit seeds share no hidden RNG state."""
+        program = poly_ckks()
+        baseline = repro.run(program, backend="functional", seed=5).outputs
+        results = [None] * 4
+
+        def worker(idx):
+            results[idx] = repro.run(
+                program, backend="functional", seed=5
+            ).outputs
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for outputs in results:
+            for key in baseline:
+                assert np.array_equal(outputs[key], baseline[key])
