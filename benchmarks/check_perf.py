@@ -5,15 +5,21 @@ Usage (from the repo root):
 
     PYTHONPATH=src python benchmarks/check_perf.py            # check vs baseline
     PYTHONPATH=src python benchmarks/check_perf.py --write    # (re)write baseline
+    PYTHONPATH=src python benchmarks/check_perf.py --compare  # old-vs-new ratios
     PYTHONPATH=src python benchmarks/check_perf.py --tolerance 3.0
 
 Times a fixed set of hot kernels (all-limb NTT, CRT conversions, base
-extension, Listing-1 key switch, plus the serving hot paths: slot
-pack/unpack and registry lookup) and compares each against the recorded
-baseline in ``BENCH_engine.json`` next to this script.  A kernel regresses if
-it is more than ``--tolerance`` times slower than baseline (generous by
-default: baselines travel between machines).  Exits non-zero on regression so
-CI can gate on it.
+extension, Listing-1 key switch, hoisted rotations, the chained modulus
+switch, plus the serving hot paths: slot pack/unpack and registry lookup)
+and compares each against the recorded baseline in ``BENCH_engine.json``
+next to this script.  A kernel regresses if it is more than ``--tolerance``
+times slower than baseline (generous by default: baselines travel between
+machines).  Exits non-zero on regression so CI can gate on it.
+
+``--compare`` prints the per-kernel old-vs-new speedup table (baseline time
+divided by measured time) without gating — the tool for quantifying a perf
+PR before rewriting the baseline with ``--write``.  It also derives the
+hoisting payoff: ``rotate_sequential / rotate_many_hoisted``.
 """
 
 from __future__ import annotations
@@ -63,6 +69,14 @@ def _kernels():
     hint = bgv.hint_v1("relin", ks_basis)
     ks_x = uniform_poly(ks_basis, params.n, rng, Domain.NTT)
 
+    # Hoisted rotations: one ciphertext rotated 8 ways (the dot-product /
+    # convolution access pattern) vs. 8 independent rotates; plus the
+    # chained modulus switch (level 4 -> 1 in one coefficient-domain pass).
+    rot_ct = bgv.encrypt(np.arange(params.n) % 256)
+    rot_steps = list(range(1, 9))
+    for s in rot_steps:  # build galois hints outside the timed region
+        bgv.hint_v1(f"galois_{bgv._rotation_exponent(s, params.n)}", ks_basis)
+
     # Serving hot paths: per-request slot pack/unpack and the registry's
     # signature-hash + cache-hit lookup (paid on every submitted request).
     from repro.bench.loadgen import poly_ckks_program, synthetic_requests
@@ -86,6 +100,9 @@ def _kernels():
         "crt_from_rns": lambda: basis.from_rns(limbs),
         "base_extend": lambda: base_extend(x_coeff, extended),
         "key_switch_v1": lambda: key_switch_v1(ks_x, hint),
+        "rotate_many_hoisted": lambda: bgv.rotate_many(rot_ct, rot_steps),
+        "rotate_sequential": lambda: [bgv.rotate(rot_ct, s) for s in rot_steps],
+        "mod_switch_chain": lambda: bgv.mod_switch_to(rot_ct, 1),
         "serve_slot_pack": lambda: batcher.pack(serve_requests),
         "serve_slot_unpack": lambda: batcher.unpack(
             packed_outputs, batcher.capacity
@@ -110,11 +127,32 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--write", action="store_true",
                         help="write the measured times as the new baseline")
+    parser.add_argument("--compare", action="store_true",
+                        help="print old-vs-new speedup ratios (no gating)")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="regression threshold (x slower than baseline)")
     args = parser.parse_args(argv)
 
     measured = {name: _time(fn) for name, fn in _kernels().items()}
+
+    if args.compare:
+        baseline = (
+            json.loads(BASELINE_PATH.read_text()) if BASELINE_PATH.exists() else {}
+        )
+        print(f"{'kernel':24s} {'baseline':>10s} {'now':>10s} {'speedup':>8s}")
+        for name, t in measured.items():
+            ref = baseline.get(name)
+            if ref is None:
+                print(f"{name:24s} {'(new)':>10s} {t * 1e3:9.3f}ms        -")
+            else:
+                print(f"{name:24s} {ref * 1e3:9.3f}ms {t * 1e3:9.3f}ms "
+                      f"{ref / t:7.2f}x")
+        hoisted = measured.get("rotate_many_hoisted")
+        seq = measured.get("rotate_sequential")
+        if hoisted and seq:
+            print(f"\nhoisting payoff (k=8): sequential/hoisted = "
+                  f"{seq / hoisted:.2f}x")
+        return 0
 
     if args.write:
         BASELINE_PATH.write_text(

@@ -21,9 +21,17 @@ from repro.fhe.keys import (
     generate_ks_hint,
     generate_raised_ks_hint,
 )
-from repro.fhe.keyswitch import key_switch_v1, key_switch_v2
+from repro.fhe.keyswitch import (
+    HoistedDecomposition,
+    hoist_raise,
+    key_switch_v1,
+    key_switch_v2,
+    key_switch_v2_hoisted,
+)
 from repro.fhe.params import FheParams
 from repro.fhe.sampling import sample_error, small_poly, uniform_poly
+from repro.poly import kernels
+from repro.poly.automorphism import automorphism_ntt_permutation
 from repro.poly.polynomial import Domain, RnsPolynomial
 from repro.rns.crt import RnsBasis
 from repro.rns.primes import ntt_friendly_primes
@@ -184,14 +192,18 @@ class BgvContext(FheContext):
         basis = x.basis
         if self.ks_variant == 1:
             u0, u1 = key_switch_v1(x, self.hint_v1(target, basis))
-            added = noise_model.keyswitch_v1_noise_bits(
-                x.n, self.t, basis.level, max(basis.moduli), self.params.error_width
-            )
         else:
             u0, u1 = key_switch_v2(x, self.hint_v2(target, basis), self.t)
             u0, u1 = u0.to_ntt(), u1.to_ntt()
-            added = noise_model.keyswitch_v2_noise_bits(x.n, self.t, self.params.error_width)
-        return u0, u1, added
+        return u0, u1, self._ks_noise_bits(basis, x.n)
+
+    def _ks_noise_bits(self, basis: RnsBasis, n: int) -> float:
+        """Analytic noise added by one key switch at the given basis."""
+        if self.ks_variant == 1:
+            return noise_model.keyswitch_v1_noise_bits(
+                n, self.t, basis.level, max(basis.moduli), self.params.error_width
+            )
+        return noise_model.keyswitch_v2_noise_bits(n, self.t, self.params.error_width)
 
     # --------------------------------------------------------------- HE ops
     def add(self, ct0: Ciphertext, ct1: Ciphertext) -> Ciphertext:
@@ -227,12 +239,22 @@ class BgvContext(FheContext):
         m = self.encode(plaintext).astype(np.int64)
         return (m * ct.plaintext_scale) % self.t
 
+    def _tensor(self, ct0: Ciphertext, ct1: Ciphertext) -> tuple[RnsPolynomial, RnsPolynomial, RnsPolynomial]:
+        """The tensor-product triple ``(l2, l1, l0)`` with the middle term
+        fused (``a0*b1 + a1*b0`` in one reduction, see
+        :func:`~repro.poly.kernels.fused_mul_add`)."""
+        basis = ct0.basis
+        q = basis.moduli_column()
+        a0, b0, a1, b1 = ct0.a.limbs, ct0.b.limbs, ct1.a.limbs, ct1.b.limbs
+        l2 = RnsPolynomial(basis, kernels.mul_mod(a0, a1, q), Domain.NTT)
+        l1 = RnsPolynomial(basis, kernels.fused_mul_add(a0, b1, a1, b0, q), Domain.NTT)
+        l0 = RnsPolynomial(basis, kernels.mul_mod(b0, b1, q), Domain.NTT)
+        return l2, l1, l0
+
     def mul(self, ct0: Ciphertext, ct1: Ciphertext, *, relinearize: bool = True) -> Ciphertext:
         """Homomorphic multiplication: tensor, then key-switch l2 (Sec. 2.2.1)."""
         self._check_pair(ct0, ct1, "mul")
-        l2 = ct0.a * ct1.a
-        l1 = ct0.a * ct1.b + ct1.a * ct0.b
-        l0 = ct0.b * ct1.b
+        l2, l1, l0 = self._tensor(ct0, ct1)
         raw_noise = noise_model.mul_noise_bits(
             ct0.noise_bits, ct1.noise_bits, ct0.n, self.t
         )
@@ -262,9 +284,56 @@ class BgvContext(FheContext):
             noise_bits=max(ct.noise_bits, ks_noise) + 1.0,
         )
 
+    def _rotation_exponent(self, steps: int, n: int) -> int:
+        """Galois exponent realizing a rotation by ``steps`` (scheme-specific)."""
+        return rotation_exponent(steps, n)
+
     def rotate(self, ct: Ciphertext, steps: int) -> Ciphertext:
         """Homomorphic slot rotation (automorphism with k = 3^steps)."""
-        return self.automorphism(ct, rotation_exponent(steps, ct.n))
+        return self.automorphism(ct, self._rotation_exponent(steps, ct.n))
+
+    def rotate_many(self, ct: Ciphertext, steps: list[int]) -> list[Ciphertext]:
+        """Rotate one ciphertext by many amounts with Halevi–Shoup hoisting.
+
+        The expensive part of a rotation is key-switching ``sigma_k(a)``;
+        because the automorphism commutes with the RNS digit decomposition
+        (variant 1) and with the base extension (variant 2), the per-input
+        heavy lifting — digit INTT + L^2 forward NTTs, or raise-to-QP — is
+        computed once and replayed per rotation as an NTT-domain permutation
+        plus the cheap multiply(-accumulate) tail.  Results decrypt exactly
+        like the corresponding sequence of :meth:`rotate` calls (BGV
+        plaintexts are bit-identical; ciphertext bits differ by the
+        hoisting's q-multiple digit slack).
+        """
+        if len(steps) <= 1:
+            return [self.rotate(ct, s) for s in steps]
+        n = ct.n
+        basis = ct.basis
+        ks_noise = self._ks_noise_bits(basis, n)
+        dec = raised = None
+        if self.ks_variant == 1:
+            dec = HoistedDecomposition(ct.a)
+        out: list[Ciphertext] = []
+        for s in steps:
+            k = self._rotation_exponent(s, n)
+            perm = automorphism_ntt_permutation(n, k)
+            if dec is not None:
+                u0, u1 = dec.key_switch(self.hint_v1(f"galois_{k}", basis), perm)
+            else:
+                hint = self.hint_v2(f"galois_{k}", basis)
+                if raised is None:
+                    # All galois hints at one basis share the extended basis,
+                    # so the raised form is computed once.
+                    raised = hoist_raise(ct.a, hint)
+                u0, u1 = key_switch_v2_hoisted(raised, hint, self.t, perm)
+                u0, u1 = u0.to_ntt(), u1.to_ntt()
+            b_sigma = ct.b.automorphism(k)
+            out.append(ct.with_polys(
+                -u1,
+                b_sigma - u0,
+                noise_bits=max(ct.noise_bits, ks_noise) + 1.0,
+            ))
+        return out
 
     def mod_switch(self, ct: Ciphertext) -> Ciphertext:
         """Switch Q -> Q/q_L, scaling noise down by ~q_L (Sec. 2.2.2)."""
@@ -285,9 +354,37 @@ class BgvContext(FheContext):
         )
 
     def mod_switch_to(self, ct: Ciphertext, level: int) -> Ciphertext:
-        while ct.level > level:
-            ct = self.mod_switch(ct)
-        return ct
+        """Switch down to ``level`` limbs in one coefficient-domain chain.
+
+        Bit-identical to repeated :meth:`mod_switch`, but the intermediate
+        NTT round-trips between consecutive drops are elided: the rescales
+        happen back-to-back in coefficient domain and a single ``to_ntt``
+        finishes (NTT∘INTT is exact, so the chain reproduces the sequential
+        limbs exactly).
+        """
+        count = ct.level - level
+        if count <= 0:
+            return ct
+        if level < 1:
+            raise ValueError("cannot modulus-switch the last limb away")
+        dropped = ct.basis.moduli[level:]
+        a_new = _rescale_bgv_chain(ct.a, self.t, count)
+        b_new = _rescale_bgv_chain(ct.b, self.t, count)
+        scale = ct.plaintext_scale
+        noise = ct.noise_bits
+        for q_last in reversed(dropped):  # same drop order as mod_switch
+            if self.t > 1:
+                scale = scale * pow(q_last, -1, self.t) % self.t
+            noise = noise_model.mod_switch_noise_bits(noise, q_last, ct.n, self.t)
+        return ct.with_polys(
+            a_new, b_new,
+            plaintext_scale=scale if self.t > 1 else 1,
+            noise_bits=noise,
+        )
+
+    def rescale_to(self, ct: Ciphertext, level: int) -> Ciphertext:
+        """BGV rescaling *is* modulus switching; ride the chained path."""
+        return self.mod_switch_to(ct, level)
 
     def _check_pair(self, ct0: Ciphertext, ct1: Ciphertext, op: str) -> None:
         if ct0.basis != ct1.basis:
@@ -304,7 +401,25 @@ class BgvContext(FheContext):
 
 def _rescale_bgv(poly: RnsPolynomial, t: int) -> RnsPolynomial:
     """Exact-division rescale by the last limb with delta ≡ 0 (mod t)."""
+    return _rescale_bgv_coeff(poly.to_coeff(), t).to_ntt()
+
+
+def _rescale_bgv_chain(poly: RnsPolynomial, t: int, count: int) -> RnsPolynomial:
+    """Rescale away the last ``count`` limbs with one NTT round-trip.
+
+    Each step's correction depends only on coefficient-domain limbs, so the
+    chain stays in coefficient domain throughout and converts back once —
+    saving ``count - 1`` inverse/forward NTT pairs versus chaining
+    :func:`_rescale_bgv`, with bit-identical limbs (NTT∘INTT is exact).
+    """
     coeff = poly.to_coeff()
+    for _ in range(count):
+        coeff = _rescale_bgv_coeff(coeff, t)
+    return coeff.to_ntt()
+
+
+def _rescale_bgv_coeff(coeff: RnsPolynomial, t: int) -> RnsPolynomial:
+    """Coefficient-domain core of the BGV rescale (input and output COEFF)."""
     basis = coeff.basis
     q_last = basis.moduli[-1]
     new_basis = basis.drop()
@@ -329,4 +444,4 @@ def _rescale_bgv(poly: RnsPolynomial, t: int) -> RnsPolynomial:
         [pow(q_last % q, -1, q) for q in new_basis.moduli], dtype=np.uint64
     ).reshape(-1, 1)
     out = ((coeff.limbs[:-1] + q_col - delta_mod) % q_col * inv_col) % q_col
-    return RnsPolynomial(new_basis, out, Domain.COEFF).to_ntt()
+    return RnsPolynomial(new_basis, out, Domain.COEFF)

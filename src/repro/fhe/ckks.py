@@ -13,12 +13,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fhe import noise as noise_model
-from repro.fhe.bgv import BgvContext, _rescale_bgv
+from repro.fhe.bgv import BgvContext, _rescale_bgv, _rescale_bgv_chain
 from repro.fhe.ciphertext import Ciphertext
 from repro.fhe.encoding import CkksEncoder
 from repro.fhe.params import FheParams
 from repro.fhe.sampling import sample_error, small_poly, uniform_poly
-from repro.poly.polynomial import Domain
+from repro.poly.polynomial import Domain, RnsPolynomial
 
 
 def ckks_rotation_exponent(steps: int, n: int) -> int:
@@ -111,9 +111,7 @@ class CkksContext(BgvContext):
 
     def mul(self, ct0: Ciphertext, ct1: Ciphertext, *, relinearize: bool = True) -> Ciphertext:
         self._check_ckks_pair(ct0, ct1, "mul")
-        l2 = ct0.a * ct1.a
-        l1 = ct0.a * ct1.b + ct1.a * ct0.b
-        l0 = ct0.b * ct1.b
+        l2, l1, l0 = self._tensor(ct0, ct1)
         u0, u1, ks_noise = self._key_switch(l2, "relin")
         return Ciphertext(
             a=l1 + u1,
@@ -134,6 +132,28 @@ class CkksContext(BgvContext):
             noise_bits=max(ct.noise_bits - np.log2(q_last), 3.0) + 1.0,
         )
 
+    def rescale_to(self, ct: Ciphertext, level: int) -> Ciphertext:
+        """Chained rescale with one NTT round-trip (bit-identical to looping
+        :meth:`rescale`; the per-drop corrections happen back-to-back in
+        coefficient domain)."""
+        count = ct.level - level
+        if count <= 0:
+            return ct
+        if level < 1:
+            raise ValueError("cannot rescale the last limb away")
+        dropped = ct.basis.moduli[level:]
+        scale = ct.scale
+        noise = ct.noise_bits
+        for q_last in reversed(dropped):
+            scale = scale / q_last
+            noise = max(noise - np.log2(q_last), 3.0) + 1.0
+        return ct.with_polys(
+            _rescale_bgv_chain(ct.a, 1, count),
+            _rescale_bgv_chain(ct.b, 1, count),
+            scale=scale,
+            noise_bits=noise,
+        )
+
     def mod_switch(self, ct: Ciphertext) -> Ciphertext:
         """Drop a limb, preserving the encrypted value and scale.
 
@@ -147,8 +167,28 @@ class CkksContext(BgvContext):
             ct.b.to_coeff().drop_limb().to_ntt(),
         )
 
+    def mod_switch_to(self, ct: Ciphertext, level: int) -> Ciphertext:
+        """Drop limbs down to ``level`` with a single NTT round-trip
+        (bit-identical to looping :meth:`mod_switch`)."""
+        count = ct.level - level
+        if count <= 0:
+            return ct
+        if level < 1:
+            raise ValueError("cannot drop the last limb")
+        basis = ct.basis.drop(count)
+
+        def chop(p):
+            return RnsPolynomial(
+                basis, p.to_coeff().limbs[:-count].copy(), Domain.COEFF
+            ).to_ntt()
+
+        return ct.with_polys(chop(ct.a), chop(ct.b))
+
     def rotate(self, ct: Ciphertext, steps: int) -> Ciphertext:
-        return self.automorphism(ct, ckks_rotation_exponent(steps, ct.n))
+        return self.automorphism(ct, self._rotation_exponent(steps, ct.n))
+
+    def _rotation_exponent(self, steps: int, n: int) -> int:
+        return ckks_rotation_exponent(steps, n)
 
     def conjugate(self, ct: Ciphertext) -> Ciphertext:
         return self.automorphism(ct, CONJUGATION_EXPONENT)

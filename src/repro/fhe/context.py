@@ -73,6 +73,16 @@ class FheContext(abc.ABC):
     @abc.abstractmethod
     def rotate(self, ct: Ciphertext, steps: int) -> Ciphertext: ...
 
+    def rotate_many(self, ct: Ciphertext, steps: list[int]) -> list[Ciphertext]:
+        """Rotate one ciphertext by several amounts.
+
+        Default is the sequential loop; contexts with a cheaper shared-input
+        path (Halevi–Shoup hoisting in :class:`~repro.fhe.bgv.BgvContext`)
+        override it.  Outputs must decrypt identically to
+        ``[self.rotate(ct, s) for s in steps]``.
+        """
+        return [self.rotate(ct, s) for s in steps]
+
     @abc.abstractmethod
     def rescale(self, ct: Ciphertext) -> Ciphertext:
         """Drop one RNS limb with the scheme's noise/scale management."""

@@ -21,6 +21,7 @@ element — whose RNS representation is simply the indicator of limb i, so the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 
 import numpy as np
 
@@ -93,6 +94,28 @@ class KeySwitchHint:
     @property
     def level(self) -> int:
         return self.basis.level
+
+    @cached_property
+    def stack0(self) -> np.ndarray:
+        """``(L, L, N)`` stack of the hint0 residue matrices — the layout the
+        fused key-switch accumulator consumes (one multiply-accumulate over
+        the leading digit axis instead of L separate polynomial products)."""
+        return _stack_rebinding(self.hint0)
+
+    @cached_property
+    def stack1(self) -> np.ndarray:
+        """``(L, L, N)`` stack of the hint1 residue matrices."""
+        return _stack_rebinding(self.hint1)
+
+
+def _stack_rebinding(polys: list[RnsPolynomial]) -> np.ndarray:
+    """Stack polynomial residue matrices, then alias each polynomial's limbs
+    to its row view so hints cached for the process lifetime don't hold the
+    data twice (polynomial ops are functional and never mutate limbs)."""
+    stack = np.stack([p.limbs for p in polys])
+    for row, p in zip(stack, polys):
+        p.limbs = row
+    return stack
 
 
 @dataclass

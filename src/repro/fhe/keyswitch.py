@@ -11,15 +11,33 @@ discussion (the F1 compiler chooses between them based on L and reuse):
   down.  More compute per call (NTTs over ~2L limbs plus two base
   conversions) but hint storage grows only as L.
 
-All inner loops run on the batched (L, N) residue-matrix engine: the L^2
-forward NTTs of variant 1 are issued as L batched all-limb transforms (each
-digit is lifted to every modulus and transformed in one
-:class:`~repro.poly.ntt.RnsNttContext` call, reused across all j), and base
-extension / scale-down broadcast across limbs instead of looping per
-coefficient.
+All inner loops run on the batched (L, N) residue-matrix engine:
 
-Both return ``(u0, u1)`` such that ``u0 - u1 * s ≈ x * s_old  (mod Q)`` up to
-``t``-multiple noise.
+- the L^2 forward NTTs of variant 1 are issued as **one** batched transform
+  of the (L, L, N) digit stack (the :class:`~repro.poly.ntt.RnsNttContext`
+  broadcasts its tables over leading axes);
+- the multiply-accumulate against the hint rows is the fused
+  :func:`~repro.poly.kernels.mul_accumulate` — raw products are summed
+  un-reduced (28-bit primes leave 8+ bits of uint64 headroom for the L-term
+  sum) and reduced once, instead of two reductions per term.
+
+**Hoisting** (Halevi–Shoup): an automorphism commutes with the RNS digit
+decomposition — ``sigma_k(D_i(x)) ≡ D_i(sigma_k(x)) (mod q_i)`` with the
+same smallness bound — so a ciphertext rotated k ways needs its digit-NTT
+stack computed only *once*.  :class:`HoistedDecomposition` captures that
+stack; :func:`key_switch_v1_hoisted` replays it against any Galois hint with
+just an NTT-domain permutation and the fused multiply-accumulate, skipping
+the inverse NTT + L^2 forward NTTs per extra rotation.  (The hoisted digits
+are ``sigma`` of the canonical digits, which differ from the canonical
+digits of ``sigma(x)`` by multiples of ``q_i`` — ciphertext bits differ, but
+the decrypted result and the noise bound are the same; tests pin down exact
+BGV plaintext equality.)  The variant-2 analogue hoists the base extension:
+:func:`hoist_raise` pays coefficient-domain round-trip + extension + wide
+NTT once, and :func:`key_switch_v2_hoisted` permutes the extended NTT per
+rotation.
+
+Both variants return ``(u0, u1)`` such that ``u0 - u1 * s ≈ x * s_old
+(mod Q)`` up to ``t``-multiple noise.
 """
 
 from __future__ import annotations
@@ -27,39 +45,89 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fhe.keys import KeySwitchHint, RaisedKeySwitchHint
+from repro.poly import kernels
 from repro.poly.ntt import get_rns_context
 from repro.poly.polynomial import Domain, RnsPolynomial
 from repro.rns.crt import RnsBasis
 
 
+class HoistedDecomposition:
+    """The reusable digit-NTT stack of one NTT-domain polynomial.
+
+    ``digit_ntt[i]`` is the (L, N) all-limb NTT of digit i lifted to every
+    modulus — exactly what :func:`key_switch_v1` consumes, computed once and
+    shared across any number of Galois hints (Halevi–Shoup hoisting).
+    """
+
+    def __init__(self, x: RnsPolynomial):
+        if x.domain is not Domain.NTT:
+            raise ValueError("hoisted decomposition expects an NTT-domain input")
+        self.basis = x.basis
+        self.n = x.n
+        self.digit_ntt = _digit_ntt_stack(x)
+
+    def key_switch(self, hint: KeySwitchHint, galois_perm: np.ndarray | None = None,
+                   ) -> tuple[RnsPolynomial, RnsPolynomial]:
+        """Key-switch the (optionally automorphed) decomposed polynomial."""
+        return key_switch_v1_hoisted(self, hint, galois_perm)
+
+
+def _digit_ntt_stack(x: RnsPolynomial) -> np.ndarray:
+    """(L, L, N) stack: digit i of x, lifted to all L moduli, NTT'd.
+
+    Digit i is INTT(x[i]) with coefficients in [0, q_i); its lift to modulus
+    q_j is one conditional subtract when the basis is *balanced*
+    (max q < 2 * min q — true for the engine's equal-width prime sets) and a
+    general ``%`` otherwise.  The L lifted digit matrices are transformed in
+    a single batched NTT call.
+    """
+    basis = x.basis
+    ctx = get_rns_context(x.n, basis.moduli)
+    q_col = basis.moduli_column()
+    y = ctx.inverse(x.limbs)  # row i = digit polynomial INTT(x[i], q_i)
+    broad = np.broadcast_to(y[:, None, :], (basis.level,) + y.shape)
+    if max(basis.moduli) < 2 * min(basis.moduli):
+        digits = kernels.reduce_once(broad, q_col)
+    else:
+        digits = np.remainder(broad, q_col)
+    return ctx.forward(digits)
+
+
 def key_switch_v1(x: RnsPolynomial, hint: KeySwitchHint) -> tuple[RnsPolynomial, RnsPolynomial]:
     """Listing 1: RNS-digit decomposition key switch, batched across limbs.
 
-    ``x`` must be NTT-domain at the hint's basis.
+    ``x`` must be NTT-domain at the hint's basis.  (For j == i the lifted
+    digit's NTT reproduces x.limbs[i] exactly: INTT then NTT round-trips
+    bit-identically.)
     """
     if x.domain is not Domain.NTT:
         raise ValueError("key_switch_v1 expects an NTT-domain input")
     if x.basis != hint.basis:
         raise ValueError("input basis does not match hint basis")
-    basis = x.basis
-    ctx = get_rns_context(x.n, basis.moduli)
+    return key_switch_v1_hoisted(HoistedDecomposition(x), hint)
+
+
+def key_switch_v1_hoisted(
+    dec: HoistedDecomposition,
+    hint: KeySwitchHint,
+    galois_perm: np.ndarray | None = None,
+) -> tuple[RnsPolynomial, RnsPolynomial]:
+    """Consume a hoisted digit stack: optional NTT permutation + fused MAC.
+
+    ``galois_perm`` is the NTT-domain index permutation of the automorphism
+    (see :func:`~repro.poly.automorphism.automorphism_ntt_permutation`);
+    applying it to the digit stack equals decomposing the automorphed
+    polynomial up to multiples of q_i, which the key-switch identity absorbs.
+    """
+    if dec.basis != hint.basis:
+        raise ValueError("decomposition basis does not match hint basis")
+    basis = dec.basis
     q_col = basis.moduli_column()
-
-    # Row i of y is the digit polynomial INTT(x[i], q_i), in coefficient form
-    # — all L inverse NTTs in one batched call.
-    y = ctx.inverse(x.limbs)
-
-    u0 = np.zeros_like(x.limbs)
-    u1 = np.zeros_like(x.limbs)
-    for i in range(basis.level):
-        # Lift digit i (coefficients in [0, q_i)) to every limb modulus and
-        # forward-transform at all L moduli in one batched NTT; the digit's
-        # NTT matrix is then reused for both hint rows across all j.  (For
-        # j == i this reproduces x.limbs[i] exactly: INTT then NTT round-trips
-        # bit-identically.)
-        digit_ntt = ctx.forward(np.remainder(y[i][None, :], q_col))
-        u0 = (u0 + digit_ntt * hint.hint0[i].limbs % q_col) % q_col
-        u1 = (u1 + digit_ntt * hint.hint1[i].limbs % q_col) % q_col
+    digit_ntt = dec.digit_ntt
+    if galois_perm is not None:
+        digit_ntt = digit_ntt[:, :, galois_perm]
+    u0 = kernels.mul_accumulate(digit_ntt, hint.stack0, q_col)
+    u1 = kernels.mul_accumulate(digit_ntt, hint.stack1, q_col)
     return (
         RnsPolynomial(basis, u0, Domain.NTT),
         RnsPolynomial(basis, u1, Domain.NTT),
@@ -76,7 +144,37 @@ def key_switch_v2(
         raise ValueError("key_switch_v2 expects an NTT-domain input")
     if x.basis != hint.basis:
         raise ValueError("input basis does not match hint basis")
-    x_ext = base_extend(x.to_coeff(), hint.extended).to_ntt()
+    x_ext = hoist_raise(x, hint)
+    return key_switch_v2_hoisted(x_ext, hint, plaintext_modulus)
+
+
+def hoist_raise(x: RnsPolynomial, hint: RaisedKeySwitchHint) -> RnsPolynomial:
+    """The reusable raised form of ``x``: base-extended to Q*P, NTT domain.
+
+    Computing it costs an inverse NTT, the base extension, and a wide
+    forward NTT; rotations sharing one input reuse it (the variant-2
+    hoisting analogue — the per-rotation work drops to a permutation, two
+    multiplies, and the scale-downs).
+    """
+    return base_extend(x.to_coeff(), hint.extended).to_ntt()
+
+
+def key_switch_v2_hoisted(
+    x_ext: RnsPolynomial,
+    hint: RaisedKeySwitchHint,
+    plaintext_modulus: int,
+    galois_perm: np.ndarray | None = None,
+) -> tuple[RnsPolynomial, RnsPolynomial]:
+    """Variant-2 core on a raised input, with optional NTT-domain automorphism.
+
+    Permuting the extended NTT equals raising the automorphed input (the
+    extension's ``u*Q`` slack maps to ``sigma(u)*Q``, equally small and
+    equally annihilated mod Q by the scale-down).
+    """
+    if galois_perm is not None:
+        x_ext = RnsPolynomial(
+            x_ext.basis, x_ext.limbs[:, galois_perm], Domain.NTT
+        )
     u0_ext = x_ext * hint.hint0
     u1_ext = x_ext * hint.hint1
     u0 = scale_down(u0_ext, hint.special, plaintext_modulus)

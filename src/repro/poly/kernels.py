@@ -1,0 +1,245 @@
+"""Centralized modular-arithmetic kernels for the batched residue engine.
+
+Every hot path in the engine — NTT butterflies, element-wise ciphertext
+arithmetic, the key-switch inner loop — bottoms out in a handful of modular
+primitives.  numpy's ``uint64 %`` is an order of magnitude slower than a
+vectorized multiply or add (hardware integer division), so this module
+replaces division with two cheaper techniques, mirroring how the paper's
+modular multipliers avoid generic division in hardware (Sec. 5.3):
+
+1. **Conditional subtraction** (:func:`cond_sub`): a value known to lie in
+   ``[0, 2q)`` is reduced to ``[0, q)`` with a single subtract-and-select.
+   We use the unsigned-wraparound trick ``min(x, x - q)``: when ``x < q``
+   the subtraction wraps far above ``2^63`` so the minimum keeps ``x``;
+   when ``x >= q`` it yields the reduced value, which is smaller.  Sound
+   whenever ``x < 2q`` and ``q < 2^63``.
+
+2. **Harvey/Shoup lazy multiplication** (:func:`shoup_mul`): with a
+   precomputed scaled twiddle ``w' = floor(w * 2^s / q)`` the product
+   ``x*w mod q`` is obtained *division-free* as ``x*w - q*((x*w') >> s)``,
+   landing in the *lazy* range ``[0, 2q)`` (see the proof in
+   :func:`shoup_mul`).  Butterflies keep values in ``[0, 2q)`` throughout
+   and reduce exactly once at the end of the transform.
+
+The lazy range requires uint64 headroom: all preconditions are proven for
+``q < 2^31`` (:data:`MAX_LAZY_MODULUS`).  The default parameter sets use
+28-bit primes, leaving ample slack; callers with moduli in ``[2^31, 2^32)``
+must use the strict (division-based) paths — :class:`repro.poly.ntt.NttContext`
+and friends select automatically and are bit-identical either way, because
+every lazy intermediate is congruent mod q to its strict counterpart and the
+final reduction is exact.
+
+Debug validation: set the environment variable ``REPRO_KERNEL_DEBUG=1`` (or
+flip :data:`DEBUG_VALIDATE`) to assert the reduced-input invariants that the
+fast paths rely on instead of re-reducing defensively.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+#: Exclusive upper bound on moduli eligible for the lazy ([0, 2q)) paths.
+#: Proof obligations (see shoup_mul / lazy_butterfly): with x < 2q and
+#: w < q, both x*w and x*w' stay below 2^63 < 2^64 only when q < 2^31.
+MAX_LAZY_MODULUS = 1 << 31
+
+#: When True, kernels assert their documented input invariants (values
+#: reduced, moduli in range).  Enabled by REPRO_KERNEL_DEBUG=1; cheap enough
+#: for tests, off by default for production hot paths.
+DEBUG_VALIDATE = os.environ.get("REPRO_KERNEL_DEBUG", "") not in ("", "0")
+
+
+def _validate_reduced(x: np.ndarray, q, what: str) -> None:
+    if DEBUG_VALIDATE:
+        assert np.all(x < q), f"{what}: operand not reduced below modulus"
+
+
+def lazy_supported(moduli) -> bool:
+    """True when every modulus qualifies for the lazy-reduction paths."""
+    return max(int(q) for q in moduli) < MAX_LAZY_MODULUS
+
+
+# --------------------------------------------------------------- reduction
+def cond_sub(x: np.ndarray, q) -> np.ndarray:
+    """Reduce ``x in [0, 2q)`` to ``[0, q)`` by one conditional subtract.
+
+    Implemented as ``min(x, x - q)`` on uint64: for ``x < q`` the subtract
+    wraps to ``x + (2^64 - q) > x`` (since ``x < 2q <= 2^63``), so the
+    minimum is ``x``; for ``x >= q`` it is the in-range difference
+    ``x - q < q <= x``.  One vector subtract + one vector min — no division,
+    no boolean select.
+    """
+    return np.minimum(x, x - q)
+
+
+def reduce_once(x: np.ndarray, q) -> np.ndarray:
+    """Alias of :func:`cond_sub` for call sites where the ``[0, 2q)``
+    precondition comes from *cross-modulus* data (e.g. lifting a digit in
+    ``[0, q_i)`` to modulus ``q_j`` with ``q_i < 2*q_j``)."""
+    return np.minimum(x, x - q)
+
+
+# ------------------------------------------------------- element-wise ring ops
+def add_mod(x: np.ndarray, y: np.ndarray, q) -> np.ndarray:
+    """``(x + y) mod q`` for reduced inputs — division-free.
+
+    ``x, y in [0, q)`` gives ``x + y in [0, 2q)``; with the engine-wide
+    ``q < 2^32`` the sum is below ``2^33``, far from uint64 wrap, and one
+    :func:`cond_sub` finishes the job.  Works for any ``q < 2^63``.
+    """
+    _validate_reduced(x, q, "add_mod lhs")
+    _validate_reduced(y, q, "add_mod rhs")
+    return cond_sub(x + y, q)
+
+
+def sub_mod(x: np.ndarray, y: np.ndarray, q) -> np.ndarray:
+    """``(x - y) mod q`` for reduced inputs — division-free.
+
+    ``x + (q - y) in [0, 2q)`` when both operands are already reduced (the
+    engine-wide invariant; no defensive re-reduction of ``y``), so one
+    :func:`cond_sub` suffices.
+    """
+    _validate_reduced(x, q, "sub_mod lhs")
+    _validate_reduced(y, q, "sub_mod rhs")
+    return cond_sub(x + (q - y), q)
+
+
+def neg_mod(x: np.ndarray, q) -> np.ndarray:
+    """``(-x) mod q`` for reduced input: ``q - x in (0, q]``, fixed up to
+    ``[0, q)`` (the ``x == 0`` slots) by one :func:`cond_sub`."""
+    _validate_reduced(x, q, "neg_mod")
+    return cond_sub(q - x, q)
+
+
+def mul_mod(x: np.ndarray, y: np.ndarray, q) -> np.ndarray:
+    """``(x * y) mod q`` for reduced inputs; products fit uint64 for q < 2^32.
+
+    The one place a true division remains; Shoup multiplication needs a
+    precomputed partner (see :func:`shoup_mul`) so generic value-times-value
+    products pay the ``%``.
+    """
+    _validate_reduced(x, q, "mul_mod lhs")
+    _validate_reduced(y, q, "mul_mod rhs")
+    return (x * y) % q
+
+
+def fused_mul_add(a: np.ndarray, b: np.ndarray, c: np.ndarray, d: np.ndarray,
+                  q) -> np.ndarray:
+    """``(a*b + c*d) mod q`` with a single reduction.
+
+    Used by the tensor-product middle term ``l1 = a0*b1 + a1*b0`` of
+    homomorphic multiplication.  Both products are below ``(q-1)^2``, so the
+    sum stays below ``2*(q-1)^2 < 2^64`` whenever ``q <= 2^31``; above that
+    we fall back to reducing each product first (still one fewer division
+    than reduce-add-reduce).
+    """
+    qmax = int(np.max(q))
+    if 2 * (qmax - 1) ** 2 < 1 << 64:
+        return (a * b + c * d) % q
+    return add_mod((a * b) % q, (c * d) % q, q)
+
+
+def mul_accumulate(stack_a: np.ndarray, stack_b: np.ndarray,
+                   q_col: np.ndarray) -> np.ndarray:
+    """``sum_k stack_a[k] * stack_b[k] mod q`` — the key-switch inner loop.
+
+    ``stack_a``/``stack_b`` are ``(K, L, N)`` residue-matrix stacks with
+    ``q_col`` the ``(L, 1)`` modulus column.  Each product is below
+    ``(q-1)^2``; when ``K * (q-1)^2 < 2^64`` (e.g. 28-bit primes up to
+    K = 256 terms) the raw products are summed *unreduced* and a single
+    division per output limb finishes — 2K-2 fewer reductions than the
+    reduce-accumulate-reduce loop it replaces.  Otherwise each product is
+    reduced first and the sum of K reduced terms (< K * 2^32 < 2^64 for any
+    realistic K) still needs only one final division.
+    """
+    k = stack_a.shape[0]
+    qmax = int(q_col.max())
+    if k * (qmax - 1) ** 2 < 1 << 64:
+        return (stack_a * stack_b).sum(axis=0) % q_col
+    return ((stack_a * stack_b) % q_col[None]).sum(axis=0) % q_col
+
+
+# --------------------------------------------------- Shoup lazy multiplication
+def shoup_shift(q: int) -> int:
+    """The per-modulus scaling shift ``s`` for Shoup multiplication.
+
+    Chosen as ``s = 63 - bitlen(2q)`` so that ``x * w' < 2q * 2^s <= 2^63``
+    for every lazy operand ``x < 2q`` — the largest shift that can never
+    overflow uint64.
+    """
+    return 63 - (2 * q).bit_length()
+
+
+def shoup_needs_extra_sub(q: int) -> bool:
+    """Whether :func:`shoup_mul` for this modulus lands in ``[0, 3q)``
+    instead of ``[0, 2q)`` (quotient estimate off by up to 2, see
+    :func:`shoup_mul`); true only for ``q in (2^30, 2^31)``."""
+    return 2 * q > 1 << shoup_shift(q)
+
+
+def shoup_precompute(table: np.ndarray, q: int) -> np.ndarray:
+    """Scaled-twiddle partner ``w' = floor(w << s / q)`` for each table entry.
+
+    Exact integer arithmetic (Python ints); done once per cached table.
+    """
+    s = shoup_shift(q)
+    wide = np.asarray(table, dtype=np.uint64).astype(object) << s
+    return (wide // q).astype(np.uint64)
+
+
+def shoup_mul(x: np.ndarray, w: np.ndarray, w_shoup: np.ndarray,
+              shift, q, out: np.ndarray | None = None) -> np.ndarray:
+    """Division-free ``x * w mod q`` into the lazy range ``[0, 2q)``.
+
+    Preconditions (with ``s = shoup_shift(q)`` and ``q < 2^31``):
+
+    - ``x < 2q`` (lazy operand), ``w < q`` (precomputed constant),
+      ``w_shoup = floor(w * 2^s / q) < 2^s``;
+    - ``x * w < 2q * q < 2^63`` and ``x * w_shoup < 2q * 2^s <= 2^63``
+      (by the choice of ``s``), so both products fit uint64 exactly.
+
+    With ``est = (x * w_shoup) >> s``: writing ``w_shoup = (w*2^s - r)/q``
+    for ``r in [0, q)``, we get ``x*w_shoup/2^s = x*w/q - x*r/(q*2^s)`` and
+    ``x*r/(q*2^s) < x/2^s <= 2q/2^s``.  When ``2q <= 2^s`` (every
+    ``q <= 2^30``) the error is below 1, so ``est`` is the true quotient or
+    one less and the remainder ``x*w - q*est`` lies in ``[0, 2q)``.  For
+    ``q in (2^30, 2^31)`` the error can reach 2 (``[0, 3q)`` result); those
+    moduli carry :func:`shoup_needs_extra_sub` and the callers append one
+    extra conditional subtract of ``2q``.  ``est <= x*w/q`` always, so the
+    final subtraction never underflows.
+
+    All intermediates are congruent to ``x*w`` mod q, so downstream exact
+    reduction yields bit-identical results to the strict ``%`` path.
+
+    With ``out`` given, the result is written into that array (saving the
+    hot paths a temp-then-copy pass when the destination is a strided view).
+    """
+    est = (x * w_shoup) >> shift
+    if out is None:
+        return x * w - est * q
+    np.multiply(x, w, out=out)
+    np.multiply(est, q, out=est)
+    np.subtract(out, est, out=out)
+    return out
+
+
+def lazy_butterfly(lo: np.ndarray, hi: np.ndarray, w: np.ndarray,
+                   w_shoup: np.ndarray, shift, q, two_q,
+                   extra_sub: bool) -> tuple[np.ndarray, np.ndarray]:
+    """One lazy Cooley-Tukey butterfly layer: inputs and outputs in ``[0, 2q)``.
+
+    ``t = x*w mod q`` lands in ``[0, 2q)`` via :func:`shoup_mul` (one extra
+    :func:`cond_sub` of ``2q`` for the wide moduli flagged by
+    ``extra_sub``).  Then
+
+    - ``new_lo = lo + t in [0, 4q)`` — one cond-sub of ``2q`` -> ``[0, 2q)``;
+    - ``new_hi = lo + (2q - t) in (0, 4q)`` — same reduction.
+
+    ``4q < 2^33`` keeps every sum far from uint64 wrap.  Zero divisions.
+    """
+    t = shoup_mul(hi, w, w_shoup, shift, q)
+    if extra_sub:
+        t = cond_sub(t, two_q)
+    return cond_sub(lo + t, two_q), cond_sub(lo + (two_q - t), two_q)

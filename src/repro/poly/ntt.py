@@ -6,9 +6,7 @@ root), the negacyclic NTT
 
     NTT(a)[j] = sum_i a_i * psi^(i*(2j+1))  mod q
 
-linearizes it: ``NTT(a*b) = NTT(a) ⊙ NTT(b)`` with no zero padding.  We
-implement it the standard way — premultiply coefficient i by ``psi^i``, then a
-cyclic radix-2 NTT.
+linearizes it: ``NTT(a*b) = NTT(a) ⊙ NTT(b)`` with no zero padding.
 
 Two execution paths share the same tables:
 
@@ -16,15 +14,49 @@ Two execution paths share the same tables:
   across the N coefficients.
 - :class:`RnsNttContext`: the *batched residue-matrix engine*.  Polynomials in
   R_Q live as limb-major (L, N) uint64 matrices (one row per RNS limb — the
-  paper's RVecs); the context stacks the per-limb twiddle tables into
-  per-stage (L, half) arrays and the moduli into an (L, 1) broadcast column,
-  so every butterfly stage runs across *all* limbs in a single numpy op.
-  Results are bit-identical to the per-limb path.
+  paper's RVecs); the context stacks the per-limb twiddle tables and runs
+  every butterfly stage across *all* limbs in a single numpy op.
+  ``forward``/``inverse`` additionally accept stacks of residue matrices
+  (``(..., L, N)``) so e.g. the key switch transforms all L digit matrices in
+  one call.  Results are bit-identical to the per-limb path.
+
+Hot-path design (see :mod:`repro.poly.kernels` for the primitive proofs):
+
+- **Strict path** (any ``q < 2^32``): the textbook pre-twist +
+  bit-reverse + DIT stage loop, three ``%`` reductions per butterfly.
+- **Lazy path** (all ``q < 2^31``, auto-selected): a merged-twist
+  Harvey-style transform with **zero divisions**.  The psi twist is folded
+  into per-stage twiddles (``psi^brv(j)`` tables, Longa–Naehrig style), each
+  Cooley–Tukey butterfly uses Shoup multiplication with precomputed scaled
+  twiddles and keeps values in the extended range ``[0, 4q)`` with a single
+  conditional subtract per butterfly, and one exact reduction happens at the
+  end of the transform.  To keep every numpy pass striding over contiguous
+  runs, the stage pipeline is split in two phases around a ``G x C`` matrix
+  transpose (the four-step layout trick, Sec. 5.2): phase 1 runs the
+  large-span stages in natural layout, phase 2 runs the small-span stages on
+  the transposed matrix where the short spans become the leading axis, and a
+  single fused gather produces natural-order output.  The inverse mirrors
+  the pipeline with Gentleman–Sande butterflies and folds ``n^{-1}`` into a
+  final Shoup multiply.
+
+  Lazy-range proof sketch (per butterfly, ``w`` a twiddle, ``s`` the
+  per-modulus Shoup shift ``63 - bitlen(2q)``): inputs are ``< 4q``;
+  ``hi * w < 4q*q < 2^64`` and ``hi * w' < 4q * 2^s < 2^64`` (strict because
+  ``4q`` is never a power of two for odd prime q), so products never wrap.
+  The Shoup quotient estimate is off by at most 1 for ``q < 2^30`` (giving
+  ``t in [0, 2q)``) and at most 5 for ``q in [2^30, 2^31)`` (``t in
+  [0, 6q)``, restored to ``[0, 2q)`` by two extra conditional subtracts —
+  the ``_n_extra`` flag).  Then ``lo' = cond_sub(lo, 2q) in [0, 2q)``,
+  ``new_lo = lo' + t in [0, 4q)`` and ``new_hi = lo' + (2q - t) in (0, 4q)``
+  re-establish the invariant.  Every intermediate is congruent mod q to the
+  strict path's value and the final reduction is exact, so the two paths are
+  bit-identical.
 
 Invariant: all arithmetic uses uint64 intermediates, so every modulus must
 satisfy ``q < 2**32`` (products of residues then fit in 64 bits).  Both
 context constructors and :func:`cyclic_ntt_rows` reject wider moduli rather
-than silently wrapping.
+than silently wrapping.  Transform inputs must be reduced (``[0, q)`` per
+limb) — the engine-wide invariant.
 
 Outputs are in natural order, so NTT-domain automorphisms are plain index
 permutations (see :mod:`repro.poly.automorphism`).
@@ -36,10 +68,15 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.poly import kernels
+from repro.poly.kernels import MAX_LAZY_MODULUS, cond_sub
 from repro.rns.primes import primitive_root_of_unity
 
 #: Moduli must stay below this so uint64 butterflies (hi * tw) cannot wrap.
 MAX_MODULUS = 1 << 32
+
+#: Below this transform size the two-phase transpose layout buys nothing.
+_SINGLE_PHASE_MAX_N = 32
 
 
 def _check_modulus_width(q: int) -> None:
@@ -50,10 +87,207 @@ def _check_modulus_width(q: int) -> None:
         )
 
 
-class NttContext:
-    """Precomputed tables for length-N negacyclic NTTs modulo prime q."""
+def _resolve_lazy(lazy: bool | None, moduli) -> bool:
+    """Auto-select the lazy path; reject an explicit request it can't honor."""
+    supported = kernels.lazy_supported(moduli)
+    if lazy is None:
+        return supported
+    if lazy and not supported:
+        raise ValueError(
+            f"lazy reduction requires all moduli < 2^{MAX_LAZY_MODULUS.bit_length() - 1}; "
+            f"got {max(int(q) for q in moduli)}"
+        )
+    return lazy
 
-    def __init__(self, n: int, q: int):
+
+class _LazyPlan:
+    """Precomputed stage schedule for the merged-twist lazy transform.
+
+    Owns, per direction, the stacked ``(L, N)`` twiddle tables
+    ``W[l, j] = psi_l^{bitrev(j)}`` (forward; ``psi^{-1}`` for inverse) with
+    their Shoup partners, sliced into per-stage broadcast views, plus the
+    fused input/output permutations.  Plans are immutable after construction
+    and therefore safe to share across threads.
+    """
+
+    def __init__(self, n: int, moduli, w_fwd: np.ndarray, w_inv: np.ndarray,
+                 n_inv_col: np.ndarray, c_size: int | None = None):
+        level = len(moduli)
+        self.n = n
+        q_col = np.array(moduli, dtype=np.uint64).reshape(-1, 1)
+        self.q_col = q_col
+        self.two_q_col = q_col * np.uint64(2)
+        self.four_q_col = q_col * np.uint64(4)
+        shifts = [kernels.shoup_shift(int(q)) for q in moduli]
+        self.shift_col = np.array(shifts, dtype=np.uint64).reshape(-1, 1)
+        # Quotient-estimate slack: 0 extra conditional subtracts per Shoup
+        # product for q < 2^30, 2 for q in [2^30, 2^31) (see module docstring).
+        self.n_extra = 2 if any(int(q) >= 1 << 30 for q in moduli) else 0
+        ws_fwd = np.stack([
+            kernels.shoup_precompute(w_fwd[i], int(q))
+            for i, q in enumerate(moduli)
+        ])
+        ws_inv = np.stack([
+            kernels.shoup_precompute(w_inv[i], int(q))
+            for i, q in enumerate(moduli)
+        ])
+        self.n_inv_col = n_inv_col
+        self.n_inv_shoup = np.stack([
+            kernels.shoup_precompute(n_inv_col[i], int(q))
+            for i, q in enumerate(moduli)
+        ])
+
+        # Phase split: stages with butterfly span t >= C run in natural
+        # layout; spans t < C run on the transposed G x C matrix where the
+        # span lives on the (now leading) C axis and the contiguous inner
+        # axis has length G.
+        brv = _bit_reverse_indices(n)
+        if c_size is None:
+            if n <= _SINGLE_PHASE_MAX_N:
+                c_size = 1
+            else:
+                c_size = 1 << ((n.bit_length() - 1) // 2)
+        g_size = n // c_size
+        self.c_size = c_size
+        self.g_size = g_size
+
+        def phase1_views(w, ws):
+            out = []
+            m = 1
+            while m <= max(1, n // (2 * c_size)):
+                t = n // (2 * m)
+                out.append((m, t, np.ascontiguousarray(w[:, m:2 * m, None]),
+                            np.ascontiguousarray(ws[:, m:2 * m, None])))
+                m *= 2
+            return out
+
+        def phase2_views(w, ws):
+            # Stage m's conceptual block index for transposed position
+            # (cb, j, g) is g*cm + cb (cm = C*m/n blocks along the C axis),
+            # so the twiddle view is W[:, m:2m] reshaped (G, cm) and
+            # transposed to (cm, 1, G) — broadcast over the span axis j.
+            out = []
+            m = n // c_size
+            while m <= n // 2 and c_size > 1:
+                t = n // (2 * m)
+                cm = c_size // (2 * t)
+                view = w[:, m:2 * m].reshape(level, g_size, cm)
+                views = ws[:, m:2 * m].reshape(level, g_size, cm)
+                out.append((cm, t,
+                            np.ascontiguousarray(view.transpose(0, 2, 1)[:, :, None, :]),
+                            np.ascontiguousarray(views.transpose(0, 2, 1)[:, :, None, :])))
+                m *= 2
+            return out
+
+        self.fwd_p1 = phase1_views(w_fwd, ws_fwd)
+        self.fwd_p2 = phase2_views(w_fwd, ws_fwd)
+        self.inv_p1 = phase1_views(w_inv, ws_inv)
+        self.inv_p2 = phase2_views(w_inv, ws_inv)
+
+        # Fused output gather: natural slot j reads buffer position
+        # (brv(j) mod C) * G + brv(j) // C of the transposed layout.
+        if c_size > 1:
+            self.out_perm = (brv % c_size) * g_size + brv // c_size
+        else:
+            self.out_perm = brv
+        in_perm = np.empty(n, dtype=np.int64)
+        in_perm[self.out_perm] = np.arange(n)
+        self.in_perm = in_perm
+
+        # Broadcast constants for the 3-D (phase 1) and 4-D (phase 2) views.
+        self._c3 = (q_col[:, :, None], self.two_q_col[:, :, None],
+                    self.four_q_col[:, :, None], self.shift_col[:, :, None])
+        self._c4 = tuple(c[:, :, None] for c in self._c3)
+
+    # ------------------------------------------------------------- butterflies
+    def _ct_stage(self, lo, hi, w, ws, consts, first: bool) -> None:
+        """Cooley–Tukey lazy butterfly: ``(lo, hi) -> (lo + w*hi, lo - w*hi)``
+        with values kept in ``[0, 4q)`` (see module docstring proof).
+
+        The first stage's inputs are fully reduced (``< q < 2q``), so its
+        ``lo`` conditional subtract is skipped.  Final sums are written with
+        ``out=`` directly into the (strided) destination views, avoiding a
+        temp-then-copy pass per output.
+        """
+        q, two_q, four_q, shift = consts
+        t = kernels.shoup_mul(hi, w, ws, shift, q)
+        if self.n_extra:
+            t = cond_sub(cond_sub(t, four_q), two_q)
+        lo2 = lo if first else cond_sub(lo, two_q)
+        u = two_q - t
+        np.add(lo2, u, out=hi)
+        np.add(lo2, t, out=lo)
+
+    def _gs_stage(self, lo, hi, w, ws, consts) -> None:
+        """Gentleman–Sande lazy butterfly: ``(lo, hi) -> (lo + hi,
+        w*(lo - hi))`` with the halving deferred into the final ``n^{-1}``.
+
+        ``x = lo + (2q - hi)`` is formed before ``lo`` is overwritten; both
+        outputs are then written with ``out=`` into the destination views.
+        """
+        q, two_q, four_q, shift = consts
+        x = lo + (two_q - hi)
+        s = lo + hi
+        np.minimum(s, s - two_q, out=lo)  # cond_sub(lo + hi, 2q)
+        v = kernels.shoup_mul(x, w, ws, shift, q)
+        if self.n_extra:
+            v = cond_sub(cond_sub(v, four_q), two_q)
+        hi[...] = v
+
+    def _transpose(self, a: np.ndarray, rows: int, cols: int) -> np.ndarray:
+        lead = a.shape[:-1]
+        swapped = a.reshape(lead + (rows, cols)).swapaxes(-2, -1)
+        return np.ascontiguousarray(swapped).reshape(lead + (self.n,))
+
+    # -------------------------------------------------------------- transforms
+    def forward(self, limbs: np.ndarray) -> np.ndarray:
+        """Merged-twist negacyclic NTT; input reduced, output reduced/natural."""
+        a = limbs.copy()
+        lead = a.shape[:-1]
+        first = True
+        for m, t, w, ws in self.fwd_p1:
+            blocks = a.reshape(lead + (m, 2 * t))
+            self._ct_stage(blocks[..., :t], blocks[..., t:], w, ws, self._c3,
+                           first)
+            first = False
+        if self.c_size > 1:
+            a = self._transpose(a, self.g_size, self.c_size)
+            for cm, t, w, ws in self.fwd_p2:
+                blocks = a.reshape(lead + (cm, 2 * t, self.g_size))
+                self._ct_stage(blocks[..., :t, :], blocks[..., t:, :],
+                               w, ws, self._c4, False)
+        a = cond_sub(cond_sub(a, self.two_q_col), self.q_col)
+        return a[..., self.out_perm]
+
+    def inverse(self, evals: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`forward`, ``n^{-1}`` fused into the final pass."""
+        a = evals[..., self.in_perm]  # fancy indexing copies
+        lead = a.shape[:-1]
+        if self.c_size > 1:
+            for cm, t, w, ws in reversed(self.inv_p2):
+                blocks = a.reshape(lead + (cm, 2 * t, self.g_size))
+                self._gs_stage(blocks[..., :t, :], blocks[..., t:, :],
+                               w, ws, self._c4)
+            a = self._transpose(a, self.c_size, self.g_size)
+        for m, t, w, ws in reversed(self.inv_p1):
+            blocks = a.reshape(lead + (m, 2 * t))
+            self._gs_stage(blocks[..., :t], blocks[..., t:], w, ws, self._c3)
+        out = kernels.shoup_mul(a, self.n_inv_col, self.n_inv_shoup,
+                                self.shift_col, self.q_col)
+        if self.n_extra:
+            out = cond_sub(cond_sub(out, self.four_q_col), self.two_q_col)
+        return cond_sub(out, self.q_col)
+
+
+class NttContext:
+    """Precomputed tables for length-N negacyclic NTTs modulo prime q.
+
+    ``lazy=None`` (default) auto-selects the division-free lazy path when
+    ``q < 2^31``; ``lazy=False`` forces the strict path (bit-identical, used
+    as the oracle in tests).
+    """
+
+    def __init__(self, n: int, q: int, *, lazy: bool | None = None):
         if n & (n - 1) or n < 2:
             raise ValueError(f"N must be a power of two >= 2, got {n}")
         if (q - 1) % (2 * n) != 0:
@@ -77,48 +311,49 @@ class NttContext:
             acc_i = acc_i * psi_inv % q
         self._psi_powers = psi_powers
         self._psi_inv_powers = psi_inv_powers
+        # Fused inverse post-scale for the strict path: n^{-1} * psi^{-i} in
+        # one table (one reduction instead of two).
+        self._psi_inv_scaled = (psi_inv_powers * np.uint64(self.n_inv)) % qq
         self._q_u64 = qq
         self._stage_twiddles = list(_stage_twiddle_tables(n, self.omega, q))
         self._stage_twiddles_inv = list(
             _stage_twiddle_tables(n, pow(self.omega, -1, q), q)
         )
         self._bitrev = _bit_reverse_indices(n)
-
-    def _cyclic_ntt(self, values: np.ndarray, tables: list[np.ndarray]) -> np.ndarray:
-        """In-place-style iterative DIT NTT; input natural, output natural order."""
-        q = self._q_u64
-        a = values[self._bitrev]  # advanced indexing: a fresh uint64 array
-        n = self.n
-        length = 2
-        for tw in tables:
-            half = length // 2
-            blocks = a.reshape(n // length, length)
-            lo = blocks[:, :half]
-            hi = blocks[:, half:]
-            t = (hi * tw) % q
-            new_hi = (lo + q - t) % q
-            new_lo = (lo + t) % q
-            blocks[:, :half] = new_lo
-            blocks[:, half:] = new_hi
-            length *= 2
-        return a
+        self.lazy = _resolve_lazy(lazy, (q,))
+        self._plan: _LazyPlan | None = None
+        if self.lazy:
+            brv = self._bitrev
+            self._plan = _LazyPlan(
+                n, (q,),
+                psi_powers[brv][None, :],
+                psi_inv_powers[brv][None, :],
+                np.array([[self.n_inv]], dtype=np.uint64),
+            )
 
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         """Negacyclic NTT: coefficient domain -> evaluation (NTT) domain."""
         coeffs = np.asarray(coeffs, dtype=np.uint64)
         if coeffs.shape != (self.n,):
             raise ValueError(f"expected shape ({self.n},), got {coeffs.shape}")
+        if self._plan is not None:
+            return self._plan.forward(coeffs[None, :])[0]
         twisted = (coeffs * self._psi_powers) % self._q_u64
-        return self._cyclic_ntt(twisted, self._stage_twiddles)
+        return _stage_loop_strict(
+            twisted[self._bitrev], self._stage_twiddles, self._q_u64
+        )
 
     def inverse(self, evals: np.ndarray) -> np.ndarray:
         """Inverse negacyclic NTT: evaluation domain -> coefficient domain."""
         evals = np.asarray(evals, dtype=np.uint64)
         if evals.shape != (self.n,):
             raise ValueError(f"expected shape ({self.n},), got {evals.shape}")
-        a = self._cyclic_ntt(evals, self._stage_twiddles_inv)
-        a = (a * np.uint64(self.n_inv)) % self._q_u64
-        return (a * self._psi_inv_powers) % self._q_u64
+        if self._plan is not None:
+            return self._plan.inverse(evals[None, :])[0]
+        a = _stage_loop_strict(
+            evals[self._bitrev], self._stage_twiddles_inv, self._q_u64
+        )
+        return (a * self._psi_inv_scaled) % self._q_u64
 
     def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Polynomial product in R_q via NTT ⊙ NTT."""
@@ -130,40 +365,50 @@ class NttContext:
 class RnsNttContext:
     """Batched negacyclic NTT over an RNS basis: (L, N) matrices in one shot.
 
-    Stacks the tables of L per-limb :class:`NttContext` instances:
-
-    - psi twists as (L, N) matrices,
-    - each butterfly stage's twiddles as an (L, 1, half) array, broadcast
-      against the (L, blocks, half) view of the residue matrix,
-    - the moduli as an (L, 1) (or (L, 1, 1)) uint64 column.
-
-    ``forward``/``inverse`` then run every butterfly stage across all limbs in
-    a single numpy op, eliminating the per-limb Python loop.  Outputs are
-    bit-identical to running the per-limb contexts row by row.
+    Stacks the tables of L per-limb :class:`NttContext` instances so every
+    butterfly stage runs across all limbs (and any leading batch axes) in a
+    single numpy op — ``forward``/``inverse`` accept ``(..., L, N)`` stacks.
+    Outputs are bit-identical to running the per-limb contexts row by row,
+    on both the lazy and strict reduction paths (see module docstring).
     """
 
-    def __init__(self, n: int, moduli: tuple[int, ...]):
+    def __init__(self, n: int, moduli: tuple[int, ...], *,
+                 lazy: bool | None = None):
         self.n = n
         self.moduli = tuple(moduli)
         ctxs = [get_context(n, q) for q in self.moduli]
         self._contexts = ctxs
         self._q_col = np.array(self.moduli, dtype=np.uint64).reshape(-1, 1)
         self._q_block = self._q_col[:, :, None]
-        self._psi = np.stack([c._psi_powers for c in ctxs])
-        self._psi_inv = np.stack([c._psi_inv_powers for c in ctxs])
         self._n_inv = np.array(
             [c.n_inv for c in ctxs], dtype=np.uint64
         ).reshape(-1, 1)
-        stages = len(ctxs[0]._stage_twiddles)
-        self._stages_fwd = [
-            np.stack([c._stage_twiddles[s] for c in ctxs])[:, None, :]
-            for s in range(stages)
-        ]
-        self._stages_inv = [
-            np.stack([c._stage_twiddles_inv[s] for c in ctxs])[:, None, :]
-            for s in range(stages)
-        ]
         self._bitrev = ctxs[0]._bitrev
+        self.lazy = _resolve_lazy(lazy, self.moduli)
+        self._plan: _LazyPlan | None = None
+        if self.lazy:
+            brv = self._bitrev
+            self._plan = _LazyPlan(
+                n, self.moduli,
+                np.stack([c._psi_powers[brv] for c in ctxs]),
+                np.stack([c._psi_inv_powers[brv] for c in ctxs]),
+                self._n_inv,
+            )
+        else:
+            # The stacked strict-path tables are only reachable when the
+            # plan is absent; building them unconditionally would waste
+            # O(L*N) precompute and residency per cached context.
+            self._psi = np.stack([c._psi_powers for c in ctxs])
+            self._psi_inv_scaled = np.stack([c._psi_inv_scaled for c in ctxs])
+            stages = len(ctxs[0]._stage_twiddles)
+            self._stages_fwd = [
+                np.stack([c._stage_twiddles[s] for c in ctxs])[:, None, :]
+                for s in range(stages)
+            ]
+            self._stages_inv = [
+                np.stack([c._stage_twiddles_inv[s] for c in ctxs])[:, None, :]
+                for s in range(stages)
+            ]
 
     @property
     def level(self) -> int:
@@ -171,40 +416,72 @@ class RnsNttContext:
 
     def _check_shape(self, limbs: np.ndarray) -> np.ndarray:
         limbs = np.asarray(limbs, dtype=np.uint64)
-        if limbs.shape != (len(self.moduli), self.n):
+        if limbs.ndim < 2 or limbs.shape[-2:] != (len(self.moduli), self.n):
             raise ValueError(
-                f"expected shape ({len(self.moduli)}, {self.n}), got {limbs.shape}"
+                f"expected trailing shape ({len(self.moduli)}, {self.n}), "
+                f"got {limbs.shape}"
             )
         return limbs
 
-    def _cyclic(self, limbs: np.ndarray, tables: list[np.ndarray]) -> np.ndarray:
-        level, n = limbs.shape
-        q = self._q_block
-        a = limbs[:, self._bitrev]  # advanced indexing: a fresh uint64 array
-        length = 2
-        for tw in tables:
-            half = length // 2
-            blocks = a.reshape(level, n // length, length)
-            lo = blocks[:, :, :half]
-            hi = blocks[:, :, half:]
-            t = (hi * tw) % q
-            blocks[:, :, half:] = (lo + q - t) % q
-            blocks[:, :, :half] = (lo + t) % q
-            length *= 2
-        return a
-
     def forward(self, limbs: np.ndarray) -> np.ndarray:
-        """All-limb negacyclic NTT: (L, N) coefficient -> (L, N) evaluation."""
+        """All-limb negacyclic NTT: ``(..., L, N)`` coefficient -> evaluation."""
         limbs = self._check_shape(limbs)
+        if self._plan is not None:
+            return self._plan.forward(limbs)
         twisted = (limbs * self._psi) % self._q_col
-        return self._cyclic(twisted, self._stages_fwd)
+        return _stage_loop_strict(
+            twisted[..., self._bitrev], self._stages_fwd, self._q_block
+        )
 
     def inverse(self, evals: np.ndarray) -> np.ndarray:
-        """All-limb inverse negacyclic NTT: (L, N) evaluation -> coefficient."""
+        """All-limb inverse negacyclic NTT: ``(..., L, N)`` evaluation -> coeff."""
         evals = self._check_shape(evals)
-        a = self._cyclic(evals, self._stages_inv)
-        a = (a * self._n_inv) % self._q_col
-        return (a * self._psi_inv) % self._q_col
+        if self._plan is not None:
+            return self._plan.inverse(evals)
+        a = _stage_loop_strict(
+            evals[..., self._bitrev], self._stages_inv, self._q_block
+        )
+        return (a * self._psi_inv_scaled) % self._q_col
+
+
+def _stage_loop_strict(a: np.ndarray, tables, q_block) -> np.ndarray:
+    """Iterative DIT stage loop with full ``%`` reduction per butterfly."""
+    n = a.shape[-1]
+    length = 2
+    for tw in tables:
+        half = length // 2
+        blocks = a.reshape(a.shape[:-1] + (n // length, length))
+        lo = blocks[..., :half]
+        hi = blocks[..., half:]
+        t = (hi * tw) % q_block
+        blocks[..., half:] = (lo + q_block - t) % q_block
+        blocks[..., :half] = (lo + t) % q_block
+        length *= 2
+    return a
+
+
+def _stage_loop_lazy(a: np.ndarray, tables, shoup_tables, q, two_q,
+                     shift, extra: bool) -> np.ndarray:
+    """Division-free DIT stage loop with values held in ``[0, 2q)``.
+
+    Input must be reduced; output needs one final
+    :func:`~repro.poly.kernels.cond_sub`.  Used by :func:`cyclic_ntt_rows`
+    (whose sub-transforms need externally supplied roots, so the merged-twist
+    plan does not apply).  See :func:`~repro.poly.kernels.lazy_butterfly`.
+    """
+    n = a.shape[-1]
+    length = 2
+    for tw, tws in zip(tables, shoup_tables):
+        half = length // 2
+        blocks = a.reshape(a.shape[:-1] + (n // length, length))
+        lo = blocks[..., :half]
+        hi = blocks[..., half:]
+        new_lo, new_hi = kernels.lazy_butterfly(lo, hi, tw, tws, shift, q,
+                                                two_q, extra)
+        blocks[..., half:] = new_hi
+        blocks[..., :half] = new_lo
+        length *= 2
+    return a
 
 
 @lru_cache(maxsize=None)
@@ -252,13 +529,23 @@ def _stage_twiddle_tables(n: int, omega: int, q: int) -> tuple[np.ndarray, ...]:
     return tuple(tables)
 
 
+@lru_cache(maxsize=None)
+def _stage_twiddle_shoup_tables(n: int, omega: int, q: int) -> tuple[np.ndarray, ...]:
+    """Shoup partners ``floor(w << s / q)`` of :func:`_stage_twiddle_tables`."""
+    return tuple(
+        kernels.shoup_precompute(tw, q)
+        for tw in _stage_twiddle_tables(n, omega, q)
+    )
+
+
 def cyclic_ntt_rows(matrix: np.ndarray, omega: int, q: int) -> np.ndarray:
     """Cyclic NTT of each row of ``matrix`` with the given primitive root.
 
     Used by the four-step decomposition, which needs sub-NTTs with *specific*
     roots (powers of the full transform's root).  Iterative radix-2 DIT,
-    natural-order in and out, vectorized across rows.  Twiddle tables are
-    cached per (N, omega, q).
+    natural-order in and out, vectorized across rows; rows must be reduced
+    mod q.  Twiddle tables are cached per (N, omega, q), and moduli below
+    2^31 ride the division-free lazy stage loop.
     """
     _check_modulus_width(q)
     matrix = np.asarray(matrix, dtype=np.uint64)
@@ -269,17 +556,15 @@ def cyclic_ntt_rows(matrix: np.ndarray, omega: int, q: int) -> np.ndarray:
         raise ValueError(f"omega is not a primitive {n}-th root mod {q}")
     qq = np.uint64(q)
     a = matrix[:, _bit_reverse_indices(n)]  # fancy indexing already copies
-    length = 2
-    for tw in _stage_twiddle_tables(n, omega, q):
-        half = length // 2
-        blocks = a.reshape(rows, n // length, length)
-        lo = blocks[:, :, :half]
-        hi = blocks[:, :, half:]
-        t = (hi * tw) % qq
-        blocks[:, :, half:] = (lo + qq - t) % qq
-        blocks[:, :, :half] = (lo + t) % qq
-        length *= 2
-    return a
+    tables = _stage_twiddle_tables(n, omega, q)
+    if q < MAX_LAZY_MODULUS:
+        a = _stage_loop_lazy(
+            a, tables, _stage_twiddle_shoup_tables(n, omega, q),
+            qq, np.uint64(2 * q), np.uint64(kernels.shoup_shift(q)),
+            kernels.shoup_needs_extra_sub(q),
+        )
+        return cond_sub(a, qq)
+    return _stage_loop_strict(a, tables, qq)
 
 
 def naive_negacyclic_multiply(a, b, q: int) -> np.ndarray:

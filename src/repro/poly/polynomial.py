@@ -18,6 +18,7 @@ import enum
 
 import numpy as np
 
+from repro.poly import kernels
 from repro.poly.automorphism import automorphism_coeff_rows, automorphism_ntt_permutation
 from repro.poly.ntt import get_rns_context
 from repro.rns.crt import RnsBasis
@@ -101,17 +102,23 @@ class RnsPolynomial:
     def __add__(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other, "add")
         q = self.basis.moduli_column()
-        return RnsPolynomial(self.basis, (self.limbs + other.limbs) % q, self.domain)
+        return RnsPolynomial(
+            self.basis, kernels.add_mod(self.limbs, other.limbs, q), self.domain
+        )
 
     def __sub__(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        # Limbs are invariantly reduced (every constructor and kernel emits
+        # [0, q)); sub_mod relies on that instead of re-reducing defensively,
+        # and asserts it under REPRO_KERNEL_DEBUG=1.
         self._check_compatible(other, "sub")
         q = self.basis.moduli_column()
-        out = (self.limbs + q - other.limbs % q) % q
-        return RnsPolynomial(self.basis, out, self.domain)
+        return RnsPolynomial(
+            self.basis, kernels.sub_mod(self.limbs, other.limbs, q), self.domain
+        )
 
     def __neg__(self) -> "RnsPolynomial":
         q = self.basis.moduli_column()
-        return RnsPolynomial(self.basis, (q - self.limbs % q) % q, self.domain)
+        return RnsPolynomial(self.basis, kernels.neg_mod(self.limbs, q), self.domain)
 
     def __mul__(self, other) -> "RnsPolynomial":
         if isinstance(other, int):
@@ -120,7 +127,9 @@ class RnsPolynomial:
         if self.domain is not Domain.NTT:
             raise ValueError("polynomial multiply requires NTT domain; call to_ntt()")
         q = self.basis.moduli_column()
-        return RnsPolynomial(self.basis, (self.limbs * other.limbs) % q, Domain.NTT)
+        return RnsPolynomial(
+            self.basis, kernels.mul_mod(self.limbs, other.limbs, q), Domain.NTT
+        )
 
     __rmul__ = __mul__
 

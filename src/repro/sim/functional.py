@@ -95,6 +95,16 @@ class FunctionalSimulator:
         env: dict[int, Ciphertext] = {}
         plain_env: dict[int, np.ndarray] = {}
         outputs: dict[int, np.ndarray] = {}
+        # Rotation hoisting: ROTATE ops sharing a source handle (the
+        # dot-product / convolution pattern: many windows of one packed
+        # vector) are executed together through ctx.rotate_many, which pays
+        # the key-switch digit decomposition once (Halevi–Shoup).  Handles
+        # are SSA, so env[src] is identical whenever each group member runs.
+        rot_groups: dict[int, list] = {}
+        for op in self.program.ops:
+            if op.kind is OpKind.ROTATE:
+                rot_groups.setdefault(op.args[0], []).append(op)
+        pending_rotations: dict[int, Ciphertext] = {}
         for op in self.program.ops:
             kind = op.kind
             self.executed_counts[kind.value] = self.executed_counts.get(kind.value, 0) + 1
@@ -122,7 +132,18 @@ class FunctionalSimulator:
                     env[op.args[0]], plain_env[op.args[1]]
                 )
             elif kind is OpKind.ROTATE:
-                env[op.op_id] = ctx.rotate(env[op.args[0]], op.rotate_steps)
+                group = rot_groups[op.args[0]]
+                if len(group) > 1:
+                    if op.op_id not in pending_rotations:
+                        results = ctx.rotate_many(
+                            env[op.args[0]], [g.rotate_steps for g in group]
+                        )
+                        pending_rotations.update(
+                            (g.op_id, r) for g, r in zip(group, results)
+                        )
+                    env[op.op_id] = pending_rotations.pop(op.op_id)
+                else:
+                    env[op.op_id] = ctx.rotate(env[op.args[0]], op.rotate_steps)
             elif kind is OpKind.MOD_SWITCH:
                 env[op.op_id] = self._level_drop(env[op.args[0]])
             elif kind is OpKind.OUTPUT:

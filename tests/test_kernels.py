@@ -1,0 +1,343 @@
+"""Tests for the modular-kernel layer and the lazy (Harvey/Shoup) hot paths.
+
+Three families:
+
+- unit oracles for :mod:`repro.poly.kernels` against plain ``%`` arithmetic,
+  across the modulus widths the engine admits (28/30/31-bit lazy, 32-bit
+  strict-only), including the documented overflow edges;
+- bit-identity of the lazy NTT paths against the strict ``%``-reduction
+  paths (and the per-limb reference), including the largest admissible lazy
+  modulus with adversarial all-(q-1) inputs;
+- behavioral equivalence of the fused/hoisted composites: fused
+  ``key_switch_v1`` vs. the unfused reference loop, ``rotate_many`` vs.
+  sequential rotations on both schemes and both key-switch variants, and the
+  chained ``mod_switch_to`` / ``rescale_to`` vs. step-by-step chains.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fhe.bgv import BgvContext
+from repro.fhe.ckks import CkksContext
+from repro.fhe.keyswitch import HoistedDecomposition, key_switch_v1
+from repro.fhe.params import FheParams
+from repro.fhe.sampling import uniform_poly
+from repro.poly import kernels
+from repro.poly.ntt import MAX_LAZY_MODULUS, NttContext, RnsNttContext
+from repro.poly.polynomial import Domain, RnsPolynomial
+from repro.rns.crt import RnsBasis
+from repro.rns.primes import ntt_friendly_primes
+
+RNG = np.random.default_rng(20260727)
+
+
+def _random_limbs(moduli, n, rng=RNG):
+    return np.stack([rng.integers(0, q, n, dtype=np.uint64) for q in moduli])
+
+
+# --------------------------------------------------------------- kernel units
+@pytest.mark.parametrize("bits", [28, 30, 31, 32])
+def test_elementwise_kernels_match_modular_arithmetic(bits):
+    n = 64
+    moduli = ntt_friendly_primes(n, bits, 3)
+    q = np.array(moduli, dtype=np.uint64).reshape(-1, 1)
+    x = _random_limbs(moduli, n)
+    y = _random_limbs(moduli, n)
+    assert np.array_equal(kernels.add_mod(x, y, q), (x + y) % q)
+    assert np.array_equal(kernels.sub_mod(x, y, q), (x + q - y) % q)
+    assert np.array_equal(kernels.neg_mod(x, q), (q - x) % q)
+    assert np.array_equal(kernels.mul_mod(x, y, q), (x * y) % q)
+
+
+@pytest.mark.parametrize("bits", [28, 31, 32])
+def test_elementwise_kernels_at_extremes(bits):
+    """x, y at 0 and q-1 — the cond-sub boundary cases."""
+    n = 32
+    moduli = ntt_friendly_primes(n, bits, 2)
+    q = np.array(moduli, dtype=np.uint64).reshape(-1, 1)
+    zeros = np.zeros((2, n), dtype=np.uint64)
+    tops = np.broadcast_to(q - 1, (2, n)).copy()
+    for x in (zeros, tops):
+        for y in (zeros, tops):
+            assert np.array_equal(kernels.add_mod(x, y, q), (x + y) % q)
+            assert np.array_equal(kernels.sub_mod(x, y, q), (x + q - y) % q)
+        assert np.array_equal(kernels.neg_mod(x, q), (q - x) % q)
+
+
+def test_cond_sub_and_reduce_once():
+    q = np.uint64(97)
+    x = np.arange(2 * 97, dtype=np.uint64)  # the full [0, 2q) range
+    assert np.array_equal(kernels.cond_sub(x, q), x % q)
+    assert np.array_equal(kernels.reduce_once(x, q), x % q)
+
+
+@pytest.mark.parametrize("bits", [28, 30, 31])
+def test_fused_mul_add_and_mul_accumulate(bits):
+    n, level, k = 64, 3, 6
+    moduli = ntt_friendly_primes(n, bits, level)
+    q = np.array(moduli, dtype=np.uint64).reshape(-1, 1)
+    a, b, c, d = (_random_limbs(moduli, n) for _ in range(4))
+    assert np.array_equal(
+        kernels.fused_mul_add(a, b, c, d, q), ((a * b) % q + (c * d) % q) % q
+    )
+    stack_a = np.stack([_random_limbs(moduli, n) for _ in range(k)])
+    stack_b = np.stack([_random_limbs(moduli, n) for _ in range(k)])
+    want = np.zeros((level, n), dtype=np.uint64)
+    for i in range(k):
+        want = (want + stack_a[i] * stack_b[i] % q) % q
+    assert np.array_equal(kernels.mul_accumulate(stack_a, stack_b, q), want)
+
+
+def test_mul_accumulate_reduced_path_for_wide_moduli():
+    """K * (q-1)^2 >= 2^64 forces the reduce-first branch; still exact."""
+    n, k = 32, 8
+    moduli = ntt_friendly_primes(n, 32, 2)
+    q = np.array(moduli, dtype=np.uint64).reshape(-1, 1)
+    assert k * (int(q.max()) - 1) ** 2 >= 1 << 64
+    stack_a = np.stack([_random_limbs(moduli, n) for _ in range(k)])
+    stack_b = np.stack([_random_limbs(moduli, n) for _ in range(k)])
+    want = np.zeros((2, n), dtype=np.uint64)
+    for i in range(k):
+        want = (want + stack_a[i] * stack_b[i] % q) % q
+    assert np.array_equal(kernels.mul_accumulate(stack_a, stack_b, q), want)
+
+
+@pytest.mark.parametrize("q", [ntt_friendly_primes(64, b, 1)[0] for b in (28, 30, 31)])
+def test_shoup_mul_congruent_and_lazy_bounded(q):
+    rng = np.random.default_rng(q)
+    shift = np.uint64(kernels.shoup_shift(q))
+    qq = np.uint64(q)
+    w = rng.integers(0, q, 256, dtype=np.uint64)
+    ws = kernels.shoup_precompute(w, q)
+    x = rng.integers(0, 2 * q, 256, dtype=np.uint64)  # full lazy input range
+    t = kernels.shoup_mul(x, w, ws, shift, qq)
+    bound = 3 * q if kernels.shoup_needs_extra_sub(q) else 2 * q
+    assert int(t.max()) < bound
+    assert np.array_equal(t % qq, (x * w) % qq)
+
+
+def test_debug_validate_catches_unreduced_operands(monkeypatch):
+    monkeypatch.setattr(kernels, "DEBUG_VALIDATE", True)
+    q = np.uint64(97)
+    good = np.arange(10, dtype=np.uint64)
+    bad = good + q  # not reduced
+    kernels.sub_mod(good, good, q)  # fine
+    with pytest.raises(AssertionError):
+        kernels.sub_mod(good, bad, q)
+    with pytest.raises(AssertionError):
+        kernels.neg_mod(bad, q)
+
+
+# ------------------------------------------------------- lazy vs strict NTT
+@pytest.mark.parametrize("bits", [28, 30, 31])
+@pytest.mark.parametrize("n", [16, 256, 1024])
+def test_lazy_ntt_bit_identical_to_strict(bits, n):
+    moduli = tuple(ntt_friendly_primes(n, bits, 3))
+    lazy = RnsNttContext(n, moduli, lazy=True)
+    strict = RnsNttContext(n, moduli, lazy=False)
+    assert lazy.lazy and not strict.lazy
+    for _ in range(3):
+        limbs = _random_limbs(moduli, n)
+        assert np.array_equal(lazy.forward(limbs), strict.forward(limbs))
+        assert np.array_equal(lazy.inverse(limbs), strict.inverse(limbs))
+        assert np.array_equal(lazy.inverse(lazy.forward(limbs)), limbs)
+
+
+def test_lazy_ntt_mixed_width_basis_and_batched_stacks():
+    n = 128
+    moduli = tuple(
+        ntt_friendly_primes(n, 28, 2)
+        + ntt_friendly_primes(n, 30, 2)
+        + ntt_friendly_primes(n, 31, 1)
+    )
+    lazy = RnsNttContext(n, moduli)
+    strict = RnsNttContext(n, moduli, lazy=False)
+    assert lazy.lazy  # auto-selected
+    limbs = _random_limbs(moduli, n)
+    assert np.array_equal(lazy.forward(limbs), strict.forward(limbs))
+    stack = np.stack([limbs, strict.forward(limbs), limbs])
+    fwd = lazy.forward(stack)
+    for i in range(3):
+        assert np.array_equal(fwd[i], strict.forward(stack[i]))
+    inv = lazy.inverse(stack)
+    for i in range(3):
+        assert np.array_equal(inv[i], strict.inverse(stack[i]))
+
+
+def test_overflow_edge_at_largest_admissible_lazy_modulus():
+    """The largest NTT-friendly prime below 2^31, driven with all-(q-1)
+    inputs — the worst case for every uint64 headroom bound in the proofs."""
+    n = 256
+    q = ntt_friendly_primes(n, 31, 1)[0]  # scans downward from 2^31 - 1
+    assert q < MAX_LAZY_MODULUS and q.bit_length() == 31
+    lazy = NttContext(n, q, lazy=True)
+    strict = NttContext(n, q, lazy=False)
+    tops = np.full(n, q - 1, dtype=np.uint64)
+    assert np.array_equal(lazy.forward(tops), strict.forward(tops))
+    assert np.array_equal(lazy.inverse(tops), strict.inverse(tops))
+    assert np.array_equal(lazy.inverse(lazy.forward(tops)), tops)
+    rng = np.random.default_rng(0)
+    x = rng.integers(0, q, n, dtype=np.uint64)
+    assert np.array_equal(lazy.forward(x), strict.forward(x))
+
+
+def test_strict_fallback_for_wide_moduli():
+    n = 64
+    q = ntt_friendly_primes(n, 32, 1)[0]
+    assert q >= MAX_LAZY_MODULUS
+    ctx = NttContext(n, q)  # auto-selects strict
+    assert not ctx.lazy
+    x = RNG.integers(0, q, n, dtype=np.uint64)
+    assert np.array_equal(ctx.inverse(ctx.forward(x)), x)
+    with pytest.raises(ValueError, match="lazy reduction requires"):
+        NttContext(n, q, lazy=True)
+    with pytest.raises(ValueError, match="lazy reduction requires"):
+        RnsNttContext(n, tuple(ntt_friendly_primes(n, 28, 1)) + (q,), lazy=True)
+
+
+# ------------------------------------------------- fused/hoisted composites
+def _reference_key_switch_v1(x, hint):
+    """The pre-fusion Listing-1 loop: per-digit NTT + reduce-accumulate."""
+    from repro.poly.ntt import get_rns_context
+
+    basis = x.basis
+    ctx = get_rns_context(x.n, basis.moduli)
+    q_col = basis.moduli_column()
+    y = ctx.inverse(x.limbs)
+    u0 = np.zeros_like(x.limbs)
+    u1 = np.zeros_like(x.limbs)
+    for i in range(basis.level):
+        digit_ntt = ctx.forward(np.remainder(y[i][None, :], q_col))
+        u0 = (u0 + digit_ntt * hint.hint0[i].limbs % q_col) % q_col
+        u1 = (u1 + digit_ntt * hint.hint1[i].limbs % q_col) % q_col
+    return u0, u1
+
+
+def test_fused_key_switch_matches_reference_loop():
+    params = FheParams.build(n=128, levels=4, prime_bits=28, plaintext_modulus=256)
+    bgv = BgvContext(params, seed=5)
+    hint = bgv.hint_v1("relin", params.basis)
+    rng = np.random.default_rng(9)
+    x = uniform_poly(params.basis, params.n, rng, Domain.NTT)
+    u0, u1 = key_switch_v1(x, hint)
+    ref0, ref1 = _reference_key_switch_v1(x, hint)
+    assert np.array_equal(u0.limbs, ref0)
+    assert np.array_equal(u1.limbs, ref1)
+
+
+def test_hoisted_decomposition_reuse_matches_unhoisted():
+    params = FheParams.build(n=128, levels=3, prime_bits=28, plaintext_modulus=256)
+    bgv = BgvContext(params, seed=5)
+    hint = bgv.hint_v1("relin", params.basis)
+    rng = np.random.default_rng(10)
+    x = uniform_poly(params.basis, params.n, rng, Domain.NTT)
+    dec = HoistedDecomposition(x)
+    u0, u1 = dec.key_switch(hint)
+    v0, v1 = key_switch_v1(x, hint)
+    assert np.array_equal(u0.limbs, v0.limbs)
+    assert np.array_equal(u1.limbs, v1.limbs)
+
+
+@pytest.mark.parametrize("ks_variant", [1, 2])
+def test_bgv_rotate_many_decrypts_like_sequential(ks_variant):
+    params = FheParams.build(n=256, levels=5, prime_bits=28, plaintext_modulus=256)
+    bgv = BgvContext(params, seed=7, ks_variant=ks_variant)
+    msg = np.arange(256) % 256
+    ct = bgv.encrypt(msg)
+    steps = [1, 2, 5, -1]
+    hoisted = bgv.rotate_many(ct, steps)
+    for h, s in zip(hoisted, steps):
+        seq = bgv.rotate(ct, s)
+        assert np.array_equal(bgv.decrypt(h), bgv.decrypt(seq))
+        assert h.noise_bits == seq.noise_bits
+
+
+def test_ckks_rotate_many_decrypts_like_sequential():
+    params = FheParams.build(n=256, levels=5, prime_bits=28, plaintext_modulus=1)
+    ck = CkksContext(params, seed=7)
+    vals = np.linspace(-1.0, 1.0, 128)
+    ct = ck.encrypt_values(vals)
+    steps = [1, 3, 7]
+    hoisted = ck.rotate_many(ct, steps)
+    for h, s in zip(hoisted, steps):
+        seq = ck.rotate(ct, s)
+        assert np.allclose(
+            ck.decrypt_values(h, 128), ck.decrypt_values(seq, 128), atol=1e-2
+        )
+
+
+def test_rotate_many_single_step_falls_back():
+    params = FheParams.build(n=128, levels=3, prime_bits=28, plaintext_modulus=256)
+    bgv = BgvContext(params, seed=3)
+    ct = bgv.encrypt(np.arange(128) % 256)
+    [only] = bgv.rotate_many(ct, [4])
+    assert np.array_equal(bgv.decrypt(only), bgv.decrypt(bgv.rotate(ct, 4)))
+
+
+# --------------------------------------------------------- chained rescales
+def test_bgv_mod_switch_chain_bit_identical_to_sequential():
+    params = FheParams.build(n=128, levels=6, prime_bits=28, plaintext_modulus=256)
+    bgv = BgvContext(params, seed=13)
+    ct = bgv.encrypt(np.arange(128) % 256)
+    chained = bgv.mod_switch_to(ct, 2)
+    seq = ct
+    while seq.level > 2:
+        seq = bgv.mod_switch(seq)
+    assert np.array_equal(chained.a.limbs, seq.a.limbs)
+    assert np.array_equal(chained.b.limbs, seq.b.limbs)
+    assert chained.plaintext_scale == seq.plaintext_scale
+    assert chained.noise_bits == pytest.approx(seq.noise_bits)
+    assert np.array_equal(bgv.decrypt(chained), bgv.decrypt(seq))
+    # rescale_to is the same chain under the unified-surface name.
+    alias = bgv.rescale_to(ct, 2)
+    assert np.array_equal(alias.a.limbs, chained.a.limbs)
+    # No-op and error edges match the sequential semantics.
+    assert bgv.mod_switch_to(ct, ct.level) is ct
+    with pytest.raises(ValueError):
+        bgv.mod_switch_to(ct, 0)
+
+
+def test_ckks_rescale_chain_bit_identical_to_sequential():
+    params = FheParams.build(n=128, levels=6, prime_bits=28, plaintext_modulus=1)
+    ck = CkksContext(params, seed=13)
+    ct = ck.encrypt_values(np.linspace(0.0, 1.0, 64))
+    chained = ck.rescale_to(ct, 3)
+    seq = ct
+    while seq.level > 3:
+        seq = ck.rescale(seq)
+    assert np.array_equal(chained.a.limbs, seq.a.limbs)
+    assert np.array_equal(chained.b.limbs, seq.b.limbs)
+    assert chained.scale == pytest.approx(seq.scale)
+    assert chained.noise_bits == pytest.approx(seq.noise_bits)
+
+
+def test_ckks_mod_switch_chain_bit_identical_to_sequential():
+    params = FheParams.build(n=128, levels=6, prime_bits=28, plaintext_modulus=1)
+    ck = CkksContext(params, seed=13)
+    ct = ck.encrypt_values(np.linspace(0.0, 1.0, 64))
+    chained = ck.mod_switch_to(ct, 2)
+    seq = ct
+    while seq.level > 2:
+        seq = ck.mod_switch(seq)
+    assert np.array_equal(chained.a.limbs, seq.a.limbs)
+    assert np.array_equal(chained.b.limbs, seq.b.limbs)
+    assert np.allclose(
+        ck.decrypt_values(chained, 64), ck.decrypt_values(ct, 64), atol=1e-2
+    )
+
+
+# ----------------------------------------------- interpreter-level hoisting
+def test_functional_interpreter_hoists_shared_rotations():
+    """A program rotating one handle repeatedly (the dot-product pattern)
+    still validates exactly against the plaintext reference."""
+    from repro.backends import FunctionalBackend
+    from repro.dsl.program import Program
+
+    p = Program(n=128, scheme="bgv", name="hoist_dot")
+    x = p.input(3, name="x")
+    acc = p.add(x, p.rotate(x, 1))
+    acc = p.add(acc, p.rotate(x, 2))
+    acc = p.add(acc, p.rotate(x, 4))
+    p.output(acc, name="windows")
+    result = FunctionalBackend().run(p, seed=1)
+    assert result.stats.get("validated") is True
