@@ -10,7 +10,9 @@ Usage (from the repo root):
 
 Times a fixed set of hot kernels (all-limb NTT, CRT conversions, base
 extension, Listing-1 key switch, hoisted rotations, the chained modulus
-switch, plus the serving hot paths: slot pack/unpack and registry lookup)
+switch, plus the serving hot paths: slot pack/unpack, registry lookup,
+the context serde round-trip paid when replicating state into a worker
+process, and the executor's batch-dispatch overhead)
 and compares each against the recorded baseline in ``BENCH_engine.json``
 next to this script.  A kernel regresses if it is more than ``--tolerance``
 times slower than baseline (generous by default: baselines travel between
@@ -93,6 +95,21 @@ def _kernels():
     registry = ProgramRegistry()
     registry.compiled_for(serve_program, check=False)  # warm: time the hit path
 
+    # Serde + executor dispatch paths: a full context pickle round-trip
+    # (what replicating one registry entry into a worker process costs) and
+    # the executor's batch-dispatch overhead on a modeled backend (the
+    # serving layer's per-batch bookkeeping, minus the FHE math itself).
+    import pickle
+
+    from repro.backends import CpuBackend
+    from repro.serve.executor import BatchJob, ThreadExecutor
+
+    dispatch_executor = ThreadExecutor()
+    dispatch_job = BatchJob(
+        program=serve_program, signature=serve_program.signature(),
+        requests=serve_requests, batcher=batcher, backend=CpuBackend(),
+    )
+
     return {
         "ntt_forward_all_limb": lambda: ctx.forward(limbs),
         "ntt_inverse_all_limb": lambda: ctx.inverse(evals),
@@ -110,6 +127,8 @@ def _kernels():
         "serve_registry_lookup": lambda: registry.compiled_for(
             serve_program, check=False
         ),
+        "serde_context_roundtrip": lambda: pickle.loads(pickle.dumps(bgv)),
+        "serve_dispatch": lambda: dispatch_executor.execute(dispatch_job),
     }
 
 

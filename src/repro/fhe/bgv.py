@@ -64,6 +64,47 @@ class BgvContext(FheContext):
         self._hints_v2: dict[tuple[str, RnsBasis], RaisedKeySwitchHint] = {}
         self._special_primes: dict[RnsBasis, RnsBasis] = {}
 
+    # ----------------------------------------------------------------- serde
+    def to_state(self) -> dict:
+        """Compact serializable form of the whole context.
+
+        Ships only what cannot be derived: parameters, the secret key's
+        ternary coefficients, the RNG state, and the variant flag.  Every
+        derived artifact — per-basis NTT key forms, NTT twiddles, Shoup
+        quotients, key-switch hint caches, special-prime bases — is rebuilt
+        lazily after a restore.  Regenerated hints draw fresh randomness,
+        which is semantically irrelevant: they re-encrypt the *same* secret,
+        so decrypted values are bit-identical (BGV) / tolerance-equal (CKKS)
+        across replicas.
+        """
+        return {
+            "scheme": self.scheme,
+            "params": self.params.to_state(),
+            "secret": self.secret.to_state(),
+            "rng_state": self.rng.bit_generator.state,
+            "ks_variant": self.ks_variant,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "BgvContext":
+        ctx = cls.__new__(cls)
+        ctx._restore_state(state)
+        return ctx
+
+    def _restore_state(self, state: dict) -> None:
+        self.__init__(
+            FheParams.from_state(state["params"]),
+            ks_variant=state["ks_variant"],
+            secret=SecretKey.from_state(state["secret"]),
+        )
+        self.rng.bit_generator.state = state["rng_state"]
+
+    def __getstate__(self):
+        return self.to_state()
+
+    def __setstate__(self, state):
+        self._restore_state(state)
+
     # ------------------------------------------------------------ encryption
     @property
     def t(self) -> int:

@@ -44,6 +44,26 @@ class Ciphertext:
     def with_polys(self, a: RnsPolynomial, b: RnsPolynomial, **changes) -> "Ciphertext":
         return replace(self, a=a, b=b, **changes)
 
+    def to_state(self) -> dict:
+        """Compact serializable form: two residue matrices plus bookkeeping."""
+        return {
+            "a": self.a.to_state(),
+            "b": self.b.to_state(),
+            "plaintext_scale": self.plaintext_scale,
+            "scale": self.scale,
+            "noise_bits": self.noise_bits,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Ciphertext":
+        return cls(
+            a=RnsPolynomial.from_state(state["a"]),
+            b=RnsPolynomial.from_state(state["b"]),
+            plaintext_scale=state["plaintext_scale"],
+            scale=state["scale"],
+            noise_bits=state["noise_bits"],
+        )
+
     def __repr__(self) -> str:
         return (
             f"Ciphertext(N={self.n}, L={self.level}, "

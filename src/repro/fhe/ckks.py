@@ -43,7 +43,8 @@ class CkksContext(BgvContext):
 
     scheme = "ckks"
 
-    def __init__(self, params: FheParams, *, scale: float | None = None, seed: int = 0, ks_variant: int = 2):
+    def __init__(self, params: FheParams, *, scale: float | None = None, seed: int = 0, ks_variant: int = 2,
+                 secret=None):
         # Variant 2 (raised modulus) is the CKKS default: the Listing-1
         # variant adds ~q-magnitude noise, which swamps values held at scale
         # Delta ~ q.  BGV tolerates it because noise rides above t, not Delta.
@@ -55,9 +56,28 @@ class CkksContext(BgvContext):
                 error_width=params.error_width,
                 allow_insecure=params.allow_insecure,
             )
-        super().__init__(params, seed=seed, ks_variant=ks_variant)
+        super().__init__(params, seed=seed, ks_variant=ks_variant, secret=secret)
         self.default_scale = float(scale) if scale else float(min(params.basis.moduli))
         self.encoder = CkksEncoder(params.n, self.default_scale)
+
+    # ----------------------------------------------------------------- serde
+    def to_state(self) -> dict:
+        """The shared RLWE state plus the CKKS default scale; the encoder is
+        derived from (N, scale) and rebuilt on restore."""
+        state = super().to_state()
+        state["scale"] = self.default_scale
+        return state
+
+    def _restore_state(self, state: dict) -> None:
+        from repro.fhe.keys import SecretKey
+
+        self.__init__(
+            FheParams.from_state(state["params"]),
+            scale=state["scale"],
+            ks_variant=state["ks_variant"],
+            secret=SecretKey.from_state(state["secret"]),
+        )
+        self.rng.bit_generator.state = state["rng_state"]
 
     # ------------------------------------------------------------ encryption
     def encrypt_values(self, values, *, level: int | None = None, scale: float | None = None) -> Ciphertext:

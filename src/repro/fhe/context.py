@@ -93,3 +93,24 @@ class FheContext(abc.ABC):
         while ct.level > level:
             ct = self.rescale(ct)
         return ct
+
+
+def context_from_state(state: dict) -> FheContext:
+    """Rebuild a concrete context from a ``to_state()`` dict.
+
+    Dispatches on the state's ``scheme`` tag, so callers that shipped a
+    serialized context across a process boundary (the serving layer's
+    process executor) need not know which scheme produced it.  Only compact
+    state travels — parameters, secret-key coefficients, RNG state; every
+    derived cache (NTT twiddles, Shoup quotients, key-switch hints) is
+    rebuilt lazily on the receiving side.
+    """
+    from repro.fhe.bgv import BgvContext
+    from repro.fhe.ckks import CkksContext
+
+    scheme = state.get("scheme")
+    if scheme == "ckks":
+        return CkksContext.from_state(state)
+    if scheme == "bgv":
+        return BgvContext.from_state(state)
+    raise ValueError(f"cannot restore a context for scheme {scheme!r}")

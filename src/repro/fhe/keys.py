@@ -44,6 +44,21 @@ class SecretKey:
     def generate(cls, n: int, rng: np.random.Generator) -> "SecretKey":
         return cls(sample_ternary(n, rng))
 
+    def to_state(self) -> dict:
+        """Just the ternary coefficients; per-basis NTT forms are derived
+        caches and are recomputed on demand after a restore."""
+        return {"coeffs": self.coeffs}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "SecretKey":
+        return cls(state["coeffs"])
+
+    def __getstate__(self):
+        return self.to_state()
+
+    def __setstate__(self, state):
+        self.__init__(state["coeffs"])
+
     def poly(self, basis: RnsBasis) -> RnsPolynomial:
         """NTT-domain RNS form of s at the given basis."""
         cached = self._cache.get(basis)
@@ -106,6 +121,18 @@ class KeySwitchHint:
     def stack1(self) -> np.ndarray:
         """``(L, L, N)`` stack of the hint1 residue matrices."""
         return _stack_rebinding(self.hint1)
+
+    def __getstate__(self):
+        # The stacked (L, L, N) views are derived caches over the same limb
+        # memory; shipping them alongside hint0/hint1 would double the
+        # payload, so they are dropped and rebuilt on first use.
+        state = self.__dict__.copy()
+        state.pop("stack0", None)
+        state.pop("stack1", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
 
 def _stack_rebinding(polys: list[RnsPolynomial]) -> np.ndarray:

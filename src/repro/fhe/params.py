@@ -68,6 +68,26 @@ class FheParams:
     def log_q(self) -> int:
         return self.basis.modulus.bit_length()
 
+    def to_state(self) -> dict:
+        """Compact serializable form: plain ints only (no derived arrays)."""
+        return {
+            "n": self.n,
+            "moduli": list(self.basis.moduli),
+            "plaintext_modulus": self.plaintext_modulus,
+            "error_width": self.error_width,
+            "allow_insecure": self.allow_insecure,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "FheParams":
+        return cls(
+            n=state["n"],
+            basis=RnsBasis(state["moduli"]),
+            plaintext_modulus=state["plaintext_modulus"],
+            error_width=state["error_width"],
+            allow_insecure=state["allow_insecure"],
+        )
+
     def basis_at(self, level: int) -> RnsBasis:
         """The RNS basis after modulus-switching down to ``level`` limbs."""
         if not (1 <= level <= self.level):

@@ -75,6 +75,37 @@ class RnsPolynomial:
         )
         return cls(basis, limbs, Domain.COEFF)
 
+    # -------------------------------------------------------------- serde
+    def to_state(self) -> dict:
+        """Compact serializable form: the residue matrix plus the moduli.
+
+        NTT twiddles and Shoup quotients are process-global caches keyed by
+        ``(n, moduli)`` (see :func:`repro.poly.ntt.get_rns_context`) and are
+        rebuilt on demand after a restore — never shipped.
+        """
+        return {
+            "moduli": self.basis.moduli,
+            "limbs": self.limbs,
+            "domain": self.domain.value,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RnsPolynomial":
+        return cls(RnsBasis(state["moduli"]), state["limbs"],
+                   Domain(state["domain"]))
+
+    def __getstate__(self):
+        return self.to_state()
+
+    def __setstate__(self, state):
+        # Delegate to from_state so pickle restores go through the same
+        # constructor validation as every other deserialization path.
+        restored = RnsPolynomial.from_state(state)
+        self.basis = restored.basis
+        self.n = restored.n
+        self.limbs = restored.limbs
+        self.domain = restored.domain
+
     # ------------------------------------------------------------ conversions
     def to_ntt(self) -> "RnsPolynomial":
         if self.domain is Domain.NTT:

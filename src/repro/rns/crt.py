@@ -135,6 +135,12 @@ class RnsBasis:
             acc = np.where(acc > big_q // 2, acc - big_q, acc)
         return [int(c) for c in acc]
 
+    def __reduce__(self):
+        # Serialize as the moduli tuple alone; the derived broadcast columns
+        # (_q_col/_q_col_i64) are rebuilt by __init__ on load, so pickled
+        # bases stay compact and never ship derived arrays.
+        return (RnsBasis, (self.moduli,))
+
     def __eq__(self, other) -> bool:
         return isinstance(other, RnsBasis) and self.moduli == other.moduli
 

@@ -10,9 +10,14 @@ amortize cost across many values; this package applies it across *users*:
 - :mod:`repro.serve.batcher` — :class:`SlotBatcher` packs k independent
   requests into one ciphertext's unused lanes and demultiplexes the
   outputs, k requests for one request's price;
+- :mod:`repro.serve.executor` — the :class:`Executor` seam batches run
+  through: :class:`ThreadExecutor` (in-process, per-context lock) or
+  :class:`ProcessExecutor` (a pool of worker processes, each holding its
+  own context replica restored from the parent's serialized keys — true
+  multi-core parallelism with no cross-request lock);
 - :mod:`repro.serve.server` — :class:`FheServer` ties them to a bounded
-  queue, a size-or-deadline flush policy, and a worker pool, with
-  per-request and aggregate telemetry.
+  queue, a priority/deadline-aware size-or-deadline flush policy, and a
+  worker pool, with per-request and aggregate telemetry.
 
 Ten-line tour::
 
@@ -32,17 +37,36 @@ from repro.serve.batcher import (
     SlotBatcher,
     unbatchable_reason,
 )
+from repro.serve.executor import (
+    BatchJob,
+    Executor,
+    ProcessExecutor,
+    ThreadExecutor,
+    resolve_executor,
+)
 from repro.serve.registry import CompiledEntry, ContextEntry, ProgramRegistry
-from repro.serve.server import FheServer, RequestResult
+from repro.serve.server import (
+    STATUS_EXPIRED,
+    STATUS_OK,
+    FheServer,
+    RequestResult,
+)
 
 __all__ = [
+    "BatchJob",
     "BatchUnsupported",
     "CompiledEntry",
     "ContextEntry",
+    "Executor",
     "FheServer",
+    "ProcessExecutor",
     "ProgramRegistry",
     "Request",
     "RequestResult",
+    "STATUS_EXPIRED",
+    "STATUS_OK",
     "SlotBatcher",
+    "ThreadExecutor",
+    "resolve_executor",
     "unbatchable_reason",
 ]

@@ -25,7 +25,8 @@ layout, which depends on the scheme's plaintext semantics (defined by
   — model weights): convolution is shift-equivariant, so
   ``(x << j*S) * p == (x * p) << j*S`` as long as blocks are spaced widely
   enough that products never spill into the next block.  The stride
-  therefore grows by ``plain_width - 1`` per MUL_PLAIN in the program, and
+  therefore grows by ``plain_width - 1`` per MUL_PLAIN *on the deepest
+  dependency chain* (parallel branches overlay the same lanes), and
   ADD_PLAIN plains are tiled per request while MUL_PLAIN plains stay
   shared and untiled.
 
@@ -52,10 +53,17 @@ class BatchUnsupported(ValueError):
 
 @dataclass
 class Request:
-    """One client request: values for the program's INPUT/INPUT_PLAIN ops."""
+    """One client request: values for the program's INPUT/INPUT_PLAIN ops.
+
+    ``seed`` pins per-request randomness (generated default inputs) for
+    runs served one at a time; it travels *with the request* through
+    whatever executor/process ends up running it, so seeded runs are
+    deterministic across process boundaries.
+    """
 
     inputs: dict[int, np.ndarray] = field(default_factory=dict)
     plains: dict[int, np.ndarray] = field(default_factory=dict)
+    seed: int | None = None
 
 
 def _coerce(request) -> Request:
@@ -99,9 +107,9 @@ class SlotBatcher:
     ``width`` is the per-request vector length every request must respect.
     For BGV, ``plain_width`` (default ``width``) bounds each shared
     MUL_PLAIN operand; the inter-request stride grows by
-    ``plain_width - 1`` per MUL_PLAIN op so convolution products never
-    cross block boundaries.  ``capacity`` is how many requests one
-    ciphertext carries at this layout.
+    ``plain_width - 1`` per MUL_PLAIN on the deepest dependency chain so
+    convolution products never cross block boundaries.  ``capacity`` is
+    how many requests one ciphertext carries at this layout.
     """
 
     def __init__(self, program: Program, *, width: int,
@@ -118,13 +126,25 @@ class SlotBatcher:
         self.width = width
         self.plain_width = width if plain_width is None else plain_width
         self._lanes = program.n // 2 if self.scheme == "ckks" else program.n
+        # BGV convolution growth is a per-value property: each MUL_PLAIN on
+        # a value's dependency path widens it by plain_width - 1.  The
+        # stride only needs to contain the *widest* value the program ever
+        # holds (the deepest MUL_PLAIN chain), not one growth per MUL_PLAIN
+        # op in the program — parallel branches share the same lanes.  The
+        # same per-op growth numbers give each OUTPUT its own demux width,
+        # so multi-output programs demux each output at its exact extent.
+        self._growth = self._convolution_growth(program)
+        max_growth = max(self._growth, default=0)
         if self.scheme == "ckks":
             self.stride = width
         else:
-            n_mul_plain = sum(
-                1 for op in program.ops if op.kind is OpKind.MUL_PLAIN
-            )
-            self.stride = width + n_mul_plain * (self.plain_width - 1)
+            self.stride = width + max_growth * (self.plain_width - 1)
+        self.output_widths: dict[int, int] = {
+            op.op_id: (width if self.scheme == "ckks"
+                       else width + self._growth[op.op_id]
+                       * (self.plain_width - 1))
+            for op in program.ops if op.kind is OpKind.OUTPUT
+        }
         capacity = self._lanes // self.stride
         if capacity < 1:
             raise BatchUnsupported(
@@ -147,6 +167,22 @@ class SlotBatcher:
         ]
 
     # ---------------------------------------------------------------- layout
+    @staticmethod
+    def _convolution_growth(program: Program) -> list[int]:
+        """Per-op count of MUL_PLAIN ops on the deepest dependency path.
+
+        Growth propagates as the max over arguments (parallel branches
+        overlay the same lanes; chained multiplies accumulate), plus one
+        for the op itself when it is a MUL_PLAIN.
+        """
+        growth = [0] * len(program.ops)
+        for op in program.ops:
+            g = max((growth[a] for a in op.args), default=0)
+            if op.kind is OpKind.MUL_PLAIN:
+                g += 1
+            growth[op.op_id] = g
+        return growth
+
     def occupancy(self, k: int) -> float:
         return k / self.capacity
 
@@ -261,15 +297,19 @@ class SlotBatcher:
     def unpack(self, outputs: dict[int, np.ndarray], k: int) -> list[dict[int, np.ndarray]]:
         """One packed output dict -> k per-request output dicts.
 
-        Each request gets its full stride-wide block, which for BGV also
-        carries convolution growth past ``width``; it equals lanes
-        ``[0, stride)`` of a solo run of the same request.
+        Each output is demuxed at its *own* width (``output_widths``):
+        ``width`` plus that output's convolution growth for BGV, so a
+        program with several OUTPUT handles of differing widths gives every
+        request exactly the lanes a solo run would populate — block j of
+        output o equals lanes ``[0, output_widths[o])`` of a solo run.
         """
         per_request: list[dict[int, np.ndarray]] = []
         for j in range(k):
             lo = j * self.stride
             per_request.append({
-                out_id: np.asarray(vec)[lo: lo + self.stride].copy()
+                out_id: np.asarray(vec)[
+                    lo: lo + self.output_widths.get(out_id, self.stride)
+                ].copy()
                 for out_id, vec in outputs.items()
             })
         return per_request

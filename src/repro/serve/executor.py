@@ -1,0 +1,659 @@
+"""Executor layer: where flushed batches actually run.
+
+F1 gets its throughput from many independent compute clusters operating on
+decoupled ciphertext state; the software serving analogue is a pool of
+*worker processes*, each holding its own replica of the per-signature FHE
+context.  This module names that seam: :class:`FheServer` hands every
+flushed batch to an :class:`Executor`, and two implementations exist:
+
+- :class:`ThreadExecutor` — in-process execution.  Because a
+  :class:`~repro.fhe.context.FheContext` is shared mutable state (RNG,
+  hint caches), it serializes batches per context with an execution lock.
+  This is the pre-executor behavior, now an implementation detail of this
+  class rather than of the registry.
+- :class:`ProcessExecutor` — warms N worker processes and *replicates* a
+  registry entry's context into each worker exactly once, from its
+  serialized keys (``context.to_state()``: params + secret coefficients +
+  RNG state; derived caches — NTT twiddles, Shoup quotients, key-switch
+  hints — are rebuilt worker-side, never shipped).  After replication,
+  batches are sharded across replicas with **no cross-request lock**: each
+  replica owns its context copy outright, so same-signature traffic runs
+  in true parallel on multi-core hosts.
+
+Replication correctness: every replica is restored from the parent's
+serialized secret key — workers never keygen — so decrypted outputs are
+bit-identical (BGV) / tolerance-equal (CKKS) to the parent's, regardless
+of which replica served a request.  Each replica's RNG is reseeded with
+fresh entropy at replication time (identical encryption-randomness
+streams across replicas would leak plaintext differences), and
+regenerated hints likewise draw fresh worker randomness — both are
+semantically irrelevant, since ciphertext randomness never affects
+decrypted values.  ``Request.seed`` travels inside the job payload, so
+``repro.run(..., seed=)`` determinism holds across process boundaries:
+the seed rides with the request, not with whichever process runs it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import os
+import threading
+import traceback
+from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
+
+from repro.backends import (
+    F1Backend,
+    FunctionalBackend,
+    ReferenceBackend,
+    RunResult,
+)
+from repro.dsl.program import Program
+from repro.serve.batcher import Request, SlotBatcher
+from repro.serve.registry import CompiledEntry, ContextEntry
+
+
+@dataclass
+class BatchJob:
+    """One flushed batch, with every artifact its execution needs.
+
+    The server performs the registry lookups (keygen/compile paid once, in
+    the parent) and attaches the entries here; executors decide where and
+    how the batch runs.
+    """
+
+    program: Program
+    signature: str
+    requests: list[Request]
+    batcher: SlotBatcher | None
+    backend: object
+    context_entry: ContextEntry | None = None
+    compiled_entry: CompiledEntry | None = None
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Where a :class:`BatchJob` runs: in-process threads or a process pool."""
+
+    name: str
+
+    def execute(self, job: BatchJob) -> tuple[list[dict], RunResult]:
+        """Run one batch; returns (per-request outputs, the RunResult)."""
+        ...
+
+    def stats(self) -> dict: ...
+
+    def close(self) -> None: ...
+
+
+def executes_values(backend) -> bool:
+    """Whether the backend encrypts/evaluates request values (as opposed to
+    the analytic models, which only need the op graph)."""
+    return isinstance(backend, (FunctionalBackend, ReferenceBackend))
+
+
+def _run_singly(program: Program, requests: list[Request], backend,
+                **run_kw) -> tuple[list[dict], RunResult]:
+    """Fallback for unbatchable programs: one backend run per request.
+
+    Each request's own ``seed`` is threaded through, so seeded runs stay
+    deterministic wherever (and in whichever process) they execute.
+    """
+    outputs = []
+    result: RunResult | None = None
+    for req in requests:
+        result = backend.run(
+            program, inputs=req.inputs or None, plains=req.plains or None,
+            seed=req.seed, **run_kw,
+        )
+        outputs.append(result.outputs)
+    return outputs, result
+
+
+#: guards lazy creation of per-context execution locks (see _context_lock)
+_context_lock_guard = threading.Lock()
+
+
+def _context_lock(context) -> threading.RLock:
+    """The process-wide execution lock for one context instance.
+
+    Stored on the context object itself so that *every* ThreadExecutor in
+    the process — e.g. two servers sharing one registry — serializes on
+    the same lock, and so the lock's lifetime matches the context's
+    (``to_state()`` never ships it; a restored context starts unlocked).
+    """
+    lock = getattr(context, "_exec_lock", None)
+    if lock is None:
+        with _context_lock_guard:
+            lock = getattr(context, "_exec_lock", None)
+            if lock is None:
+                lock = threading.RLock()
+                context._exec_lock = lock
+    return lock
+
+
+class ThreadExecutor:
+    """Runs batches on the calling worker thread.
+
+    Shared-context safety lives here: a cached
+    :class:`~repro.fhe.context.FheContext` is not thread-safe (one RNG, one
+    hint cache), so batches hold that context's process-wide execution
+    lock (attached to the context object, shared by every executor that
+    touches it) for their duration.  Distinct signatures still proceed in
+    parallel; same-signature batches serialize — the limitation
+    :class:`ProcessExecutor` removes.
+    """
+
+    name = "thread"
+
+    def __init__(self):
+        self._guard = threading.Lock()
+        self._dispatched = 0
+
+    def execute(self, job: BatchJob) -> tuple[list[dict], RunResult]:
+        with self._guard:
+            self._dispatched += 1
+        backend = job.backend
+        if isinstance(backend, FunctionalBackend) and job.context_entry is not None:
+            entry = job.context_entry
+            with _context_lock(entry.context):
+                if job.batcher is not None:
+                    return job.batcher.run(
+                        job.requests, backend, context=entry.context
+                    )
+                return _run_singly(
+                    job.program, job.requests, backend, context=entry.context
+                )
+        if isinstance(backend, F1Backend) and job.compiled_entry is not None:
+            result = backend.run(job.program, compiled=job.compiled_entry.compiled)
+            outputs = (job.batcher.unpack(result.outputs, len(job.requests))
+                       if job.batcher is not None
+                       else [{} for _ in job.requests])
+            return outputs, result
+        if not executes_values(backend):
+            # Analytic models (cpu, heax): one run models the whole batch;
+            # there are no values to pack and no outputs to demux.
+            result = backend.run(job.program)
+            return [{} for _ in job.requests], result
+        # Reference backend: packs and executes values, no cacheable setup.
+        if job.batcher is not None:
+            return job.batcher.run(job.requests, backend)
+        return _run_singly(job.program, job.requests, backend)
+
+    def stats(self) -> dict:
+        with self._guard:
+            return {"executor": self.name, "dispatched": self._dispatched}
+
+    def close(self) -> None:
+        pass
+
+
+# --------------------------------------------------------------- process pool
+def _worker_main(conn) -> None:
+    """Worker-process loop: replicate contexts once, then run batches.
+
+    Contexts arrive as compact serialized state and are cached by key;
+    programs are cached by signature.  Twiddle/Shoup/hint caches populate
+    lazily in this process as batches execute.
+    """
+    from repro.fhe.context import context_from_state
+
+    contexts: dict[int, object] = {}
+    programs: dict[str, Program] = {}
+    backends: dict[int, object] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            return
+        op = msg["op"]
+        if op == "exit":
+            return
+        try:
+            if op == "context":
+                ctx = context_from_state(msg["state"])
+                if msg.get("reseed") is not None:
+                    # Replicas must not share the parent's randomness
+                    # stream: identical (a, e) draws across replicas would
+                    # leak plaintext differences.  Fresh per-replica
+                    # entropy replaces the restored RNG; the secret key —
+                    # the part that must converge — is untouched.
+                    import numpy as np
+
+                    ctx.rng = np.random.default_rng(
+                        np.random.SeedSequence(msg["reseed"])
+                    )
+                contexts[msg["key"]] = ctx
+                conn.send({"ok": True})
+            elif op == "program":
+                programs[msg["key"]] = msg["program"]
+                conn.send({"ok": True})
+            elif op == "backend":
+                backends[msg["key"]] = msg["backend"]
+                conn.send({"ok": True})
+            elif op == "drop_context":
+                contexts.pop(msg["key"], None)
+                conn.send({"ok": True})
+            elif op == "drop_backend":
+                backends.pop(msg["key"], None)
+                conn.send({"ok": True})
+            elif op == "probe":
+                ctx = contexts[msg["key"]]
+                conn.send({
+                    "ok": True,
+                    "pid": os.getpid(),
+                    "secret_sha": hashlib.sha256(
+                        ctx.secret.coeffs.tobytes()
+                    ).hexdigest(),
+                    "moduli": ctx.params.basis.moduli,
+                    # Diagnostic draw (advances this replica's stream):
+                    # lets tests verify replicas were reseeded apart.
+                    "rng_fingerprint": ctx.rng.integers(
+                        0, 2**63, 4
+                    ).tolist(),
+                })
+            elif op == "run":
+                ctx = contexts[msg["key"]]
+                program = programs[msg["program_key"]]
+                backend = backends[msg["backend_key"]]
+                if msg["mode"] == "batched":
+                    result = backend.run(
+                        program, inputs=msg["inputs"], plains=msg["plains"],
+                        context=ctx,
+                    )
+                    conn.send({"ok": True, "result": result})
+                else:
+                    requests = [Request(inputs=i, plains=p, seed=s)
+                                for i, p, s in msg["requests"]]
+                    outputs, result = _run_singly(
+                        program, requests, backend, context=ctx
+                    )
+                    conn.send({"ok": True, "result": result,
+                               "outputs": outputs})
+            else:
+                conn.send({"ok": False,
+                           "error": f"unknown op {op!r}", "traceback": ""})
+        except BaseException as exc:  # noqa: BLE001 — reported to the parent
+            conn.send({
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+                "traceback": traceback.format_exc(),
+            })
+
+
+class _Replica:
+    """Parent-side handle for one worker process: pipe + replication sets."""
+
+    def __init__(self, mp_ctx, index: int):
+        parent_conn, child_conn = mp_ctx.Pipe()
+        self.conn = parent_conn
+        #: serializes the request/response exchange on this replica's pipe
+        self.lock = threading.Lock()
+        self.index = index
+        self.contexts: set[int] = set()
+        self.programs: set[str] = set()
+        self.backends: set[int] = set()
+        self.inflight = 0
+        self.dispatched = 0
+        self.dead = False
+        self.process = mp_ctx.Process(
+            target=_worker_main, args=(child_conn,),
+            name=f"fhe-executor-{index}", daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+
+    def call(self, msg: dict) -> dict:
+        """One request/response exchange (caller must hold ``lock``).
+
+        A broken pipe (worker crashed or was killed) marks this replica
+        dead so the dispatcher routes around it and revives a successor.
+        """
+        try:
+            self.conn.send(msg)
+            reply = self.conn.recv()
+        except (BrokenPipeError, EOFError, OSError):
+            self.dead = True
+            raise RuntimeError(
+                f"executor worker {self.index} died (pipe closed); "
+                f"the batch fails and the replica will be respawned"
+            ) from None
+        if not reply.get("ok"):
+            raise RuntimeError(
+                f"executor worker failed: {reply.get('error')}\n"
+                f"{reply.get('traceback', '')}"
+            )
+        return reply
+
+
+class ProcessExecutor:
+    """Runs functional batches on a pool of warmed worker processes.
+
+    ``processes`` worker replicas are forked at construction (create the
+    executor *before* starting server threads).  The first batch of each
+    ``(signature, params)`` replicates the registry entry's context into
+    the chosen worker from its serialized keys — amortized exactly like
+    the registry's keygen — and later batches of that signature shard
+    across replicas by least-in-flight.  There is no per-context execution
+    lock: each replica owns its context replica outright.
+
+    Backends that do not execute encrypted values (f1/cpu/heax models, the
+    plaintext reference) have no per-process state worth replicating and
+    fall back to an inner :class:`ThreadExecutor`.
+    """
+
+    name = "process"
+
+    def __init__(self, processes: int = 2, *, start_method: str | None = None):
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        import multiprocessing as mp
+
+        if start_method is None:
+            start_method = ("fork" if "fork" in mp.get_all_start_methods()
+                            else None)
+        mp_ctx = mp.get_context(start_method)
+        self._mp_ctx = mp_ctx
+        self.processes = processes
+        self._fallback = ThreadExecutor()
+        self._guard = threading.Lock()
+        # id(entry) -> (replication key, strong reference).  The reference
+        # pins the entry alive until release() or close(), so a freed
+        # entry's id can never be reused by a different entry and silently
+        # resolve to the wrong worker-side context.
+        self._ctx_keys: dict[int, tuple[int, ContextEntry]] = {}
+        self._ctx_counter = itertools.count()
+        # Same id-pinning scheme for backends: shipped to a worker once,
+        # then referenced by key on every run message (a context-bound
+        # backend would otherwise re-serialize its context per batch).
+        self._backend_keys: dict[int, tuple[int, object]] = {}
+        self._backend_counter = itertools.count()
+        self._closed = False
+        self._replicas = [_Replica(mp_ctx, i) for i in range(processes)]
+
+    # ------------------------------------------------------------- internals
+    def _ctx_key(self, entry: ContextEntry) -> int:
+        with self._guard:
+            known = self._ctx_keys.get(id(entry))
+            if known is None:
+                known = (next(self._ctx_counter), entry)
+                self._ctx_keys[id(entry)] = known
+            return known[0]
+
+    def _backend_key(self, backend) -> int:
+        with self._guard:
+            known = self._backend_keys.get(id(backend))
+            if known is None:
+                known = (next(self._backend_counter), backend)
+                self._backend_keys[id(backend)] = known
+            return known[0]
+
+    def _pick(self) -> _Replica:
+        with self._guard:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            self._revive_dead_locked()
+            # Least in-flight first; ties (an idle pool) break by fewest
+            # total dispatches, so sequential traffic round-robins instead
+            # of pinning one replica.
+            replica = min(self._replicas,
+                          key=lambda r: (r.inflight, r.dispatched))
+            replica.inflight += 1
+            replica.dispatched += 1
+            return replica
+
+    def _revive_dead_locked(self) -> None:
+        """Replace crashed workers with fresh ones (caller holds _guard).
+
+        A replacement starts with empty replication sets, so the next
+        batch routed to it re-ships context/program/backend state —
+        self-healing at the cost of one re-replication.
+        """
+        for i, replica in enumerate(self._replicas):
+            if replica.dead:
+                if replica.process.is_alive():
+                    replica.process.terminate()
+                self._replicas[i] = _Replica(self._mp_ctx, replica.index)
+
+    def _release(self, replica: _Replica) -> None:
+        with self._guard:
+            replica.inflight -= 1
+
+    @staticmethod
+    def _replicate_context(replica: _Replica, entry: ContextEntry,
+                           key: int) -> None:
+        """Ship one entry's serialized state to this replica (caller holds
+        the replica lock).  Each replica's RNG is reseeded with fresh OS
+        entropy so no two replicas (or the parent) ever draw the same
+        encryption randomness; the secret key still converges."""
+        import numpy as np
+
+        replica.call({
+            "op": "context", "key": key,
+            "state": entry.context.to_state(),
+            "reseed": np.random.SeedSequence().entropy,
+        })
+        replica.contexts.add(key)
+
+    def _ensure_replicated(self, replica: _Replica, job: BatchJob,
+                           key: int, backend_key: int) -> int:
+        """Ship context/program/backend state to this replica once (caller
+        holds the replica lock); returns the authoritative context key."""
+        entry = job.context_entry
+        with self._guard:
+            # A concurrent release() may have unpinned the entry between
+            # key capture and this point; re-pin (keeping any newer key)
+            # so whatever we ship below stays reachable — and therefore
+            # evictable — from the parent map.
+            known = self._ctx_keys.setdefault(id(entry), (key, entry))
+        key = known[0]
+        if key not in replica.contexts:
+            self._replicate_context(replica, entry, key)
+        if job.signature not in replica.programs:
+            replica.call({
+                "op": "program", "key": job.signature,
+                "program": job.program,
+            })
+            replica.programs.add(job.signature)
+        if backend_key not in replica.backends:
+            replica.call({
+                "op": "backend", "key": backend_key,
+                "backend": job.backend,
+            })
+            replica.backends.add(backend_key)
+        return key
+
+    # ---------------------------------------------------------------- public
+    def execute(self, job: BatchJob) -> tuple[list[dict], RunResult]:
+        backend = job.backend
+        if not isinstance(backend, FunctionalBackend) or job.context_entry is None:
+            return self._fallback.execute(job)
+        key = self._ctx_key(job.context_entry)
+        backend_key = self._backend_key(backend)
+        replica = self._pick()
+        try:
+            with replica.lock:
+                key = self._ensure_replicated(replica, job, key, backend_key)
+                if job.batcher is not None:
+                    inputs, plains = job.batcher.pack(job.requests)
+                    reply = replica.call({
+                        "op": "run", "mode": "batched", "key": key,
+                        "program_key": job.signature,
+                        "backend_key": backend_key,
+                        "inputs": inputs, "plains": plains,
+                    })
+                    result = reply["result"]
+                    return (job.batcher.unpack(result.outputs,
+                                               len(job.requests)), result)
+                reply = replica.call({
+                    "op": "run", "mode": "singly", "key": key,
+                    "program_key": job.signature,
+                    "backend_key": backend_key,
+                    "requests": [(r.inputs, r.plains, r.seed)
+                                 for r in job.requests],
+                })
+                return reply["outputs"], reply["result"]
+        finally:
+            self._release(replica)
+
+    def release(self, entry: ContextEntry) -> None:
+        """Drop a replicated entry: unpin it in the parent and evict its
+        replica from every worker.
+
+        Replication pins each entry (and its growing hint caches) for the
+        pool's lifetime — the right default for steady traffic, but a
+        long-lived pool cycling through many ``(signature, params)``
+        combinations should release entries it has retired, or memory
+        grows without bound on both sides of the pipe.  Releasing an
+        entry that was never replicated is a no-op; a later batch for it
+        simply replicates again.  Backends follow the same pinning scheme
+        (a context-bound backend can be as heavy as an entry) — retire
+        one with :meth:`release_backend`.
+        """
+        with self._guard:
+            known = self._ctx_keys.pop(id(entry), None)
+        if known is None:
+            return
+        key = known[0]
+        for replica in self._replicas:
+            with replica.lock:
+                if key in replica.contexts:
+                    replica.call({"op": "drop_context", "key": key})
+                    replica.contexts.discard(key)
+
+    def release_backend(self, backend) -> None:
+        """Drop a shipped backend: unpin it in the parent and evict it
+        from every worker (see :meth:`release`)."""
+        with self._guard:
+            known = self._backend_keys.pop(id(backend), None)
+        if known is None:
+            return
+        key = known[0]
+        for replica in self._replicas:
+            with replica.lock:
+                if key in replica.backends:
+                    replica.call({"op": "drop_backend", "key": key})
+                    replica.backends.discard(key)
+
+    def probe(self, entry: ContextEntry) -> list[dict]:
+        """Replicate ``entry`` everywhere and report each replica's view.
+
+        Diagnostic/test hook for the replication invariant: every replica
+        must hold the parent's secret (same ``secret_sha``) in a distinct
+        process (different ``pid``) — workers never keygen on their own.
+        """
+        key = self._ctx_key(entry)
+        out = []
+        for replica in self._replicas:
+            with replica.lock:
+                if key not in replica.contexts:
+                    self._replicate_context(replica, entry, key)
+                out.append(replica.call({"op": "probe", "key": key}))
+        return out
+
+    def stats(self) -> dict:
+        with self._guard:
+            return {
+                "executor": self.name,
+                "processes": self.processes,
+                "dispatched_per_replica": [r.dispatched
+                                           for r in self._replicas],
+                "replicated_contexts": [len(r.contexts)
+                                        for r in self._replicas],
+                "fallback": self._fallback.stats(),
+            }
+
+    def close(self) -> None:
+        with self._guard:
+            if self._closed:
+                return
+            self._closed = True
+        for replica in self._replicas:
+            with replica.lock:
+                try:
+                    replica.conn.send({"op": "exit"})
+                except (BrokenPipeError, OSError):
+                    pass
+                replica.conn.close()
+        for replica in self._replicas:
+            replica.process.join(timeout=5)
+            if replica.process.is_alive():
+                replica.process.terminate()
+        with self._guard:
+            self._ctx_keys.clear()
+            self._backend_keys.clear()
+        self._fallback.close()
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def resolve_executor(executor) -> Executor:
+    """Accept an Executor instance or the names ``"thread"``/``"process"``."""
+    if isinstance(executor, str):
+        if executor == "thread":
+            return ThreadExecutor()
+        if executor == "process":
+            return ProcessExecutor()
+        raise ValueError(
+            f"unknown executor {executor!r}; choose 'thread', 'process', "
+            f"or pass an Executor instance"
+        )
+    if isinstance(executor, Executor):
+        return executor
+    raise TypeError(f"not an executor: {executor!r}")
+
+
+def process_smoke(processes: int = 2, *, verbose: bool = True) -> int:
+    """Tiny end-to-end exercise of the fork path, for CI gating.
+
+    Builds a context in the parent, replicates it into ``processes``
+    workers, checks the replication invariant (same secret, distinct
+    pids), and verifies a process-executed batch is bit-identical to the
+    thread-executed one.  Returns 0 on success (suitable as an exit code).
+    """
+    import numpy as np
+
+    from repro.dsl.program import Program
+    from repro.serve.registry import ProgramRegistry
+
+    program = Program(n=128, scheme="bgv", name="process_smoke")
+    x = program.input(2, name="x")
+    w = program.input_plain(2, name="w")
+    program.output(program.mul_plain(x, w))
+    registry = ProgramRegistry()
+    entry, _ = registry.context_for(program, seed=11)
+    batcher = SlotBatcher(program, width=4)
+    rng = np.random.default_rng(0)
+    shared_w = rng.integers(0, 256, 4)
+    requests = [Request(inputs={x.op_id: rng.integers(0, 256, 4)},
+                        plains={w.op_id: shared_w}) for _ in range(4)]
+    backend = FunctionalBackend(validate=False)
+    job = BatchJob(program=program, signature=program.signature(),
+                   requests=requests, batcher=batcher, backend=backend,
+                   context_entry=entry)
+    with ProcessExecutor(processes) as executor:
+        probes = executor.probe(entry)
+        shas = {p["secret_sha"] for p in probes}
+        pids = {p["pid"] for p in probes}
+        if len(shas) != 1 or len(pids) != processes:
+            if verbose:
+                print(f"process smoke FAILED: replicas diverged "
+                      f"(secrets={len(shas)}, pids={len(pids)})")
+            return 1
+        proc_outputs, _ = executor.execute(job)
+    thread_outputs, _ = ThreadExecutor().execute(job)
+    for got, want in zip(proc_outputs, thread_outputs):
+        for out_id in want:
+            if not np.array_equal(got[out_id], want[out_id]):
+                if verbose:
+                    print("process smoke FAILED: outputs diverged")
+                return 1
+    if verbose:
+        print(f"process smoke OK: {processes} replicas, shared secret, "
+              f"batched outputs bit-identical to in-process execution")
+    return 0

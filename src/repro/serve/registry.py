@@ -18,17 +18,31 @@ amortizes all of it:
   :class:`~repro.compiler.pipeline.CompiledProgram` the F1 backend needs.
 
 Both are thread-safe with per-key build locks, so concurrent workers
-racing on a cold entry perform exactly one keygen/compile.  Each context
-entry also carries a ``lock`` serializing *execution* on that context:
-the underlying numpy ``Generator`` and hint caches are shared mutable
-state, so one batch at a time runs per context while distinct programs
-proceed in parallel.
+racing on a cold entry perform exactly one keygen/compile.  Execution
+serialization is *not* this layer's concern: a cached context is shared
+mutable state (one RNG, one hint cache), and whichever
+:class:`~repro.serve.executor.Executor` runs batches decides how to keep
+that safe — :class:`~repro.serve.executor.ThreadExecutor` holds one
+execution lock per entry, while
+:class:`~repro.serve.executor.ProcessExecutor` gives each worker process
+its own context replica and needs no lock at all.
+
+**Cross-process convergence rule**: registry entries for the same
+``(signature, params)`` must converge even when worker *processes* are
+involved.  Keygen happens exactly once, in the parent registry; worker
+replicas are restored from the parent entry's serialized keys
+(``context.to_state()`` ships the secret-key coefficients), so every
+replica decrypts identically — there is no silent per-worker keygen.
+Workers regenerate *hints* locally with fresh randomness, which is
+semantically irrelevant: hints re-encrypt the same secret, so decrypted
+values stay bit-identical (BGV) / tolerance-equal (CKKS) across
+replicas.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.backends import params_for_program
 from repro.compiler.pipeline import CompiledProgram, compile_program
@@ -43,14 +57,17 @@ from repro.sim.simulator import check_schedule
 
 @dataclass
 class ContextEntry:
-    """A cached functional-execution artifact: params + keys + hints."""
+    """A cached functional-execution artifact: params + keys + hints.
+
+    Entries carry no execution lock — serializing access to the shared
+    context (or avoiding the sharing entirely, via per-process replicas)
+    is the executor's job, not the cache's.
+    """
 
     signature: str
     scheme: str
     params: FheParams
     context: FheContext
-    #: serializes execution on this context (shared RNG / hint caches)
-    lock: threading.RLock = field(default_factory=threading.RLock)
     hits: int = 0
 
 

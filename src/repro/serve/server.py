@@ -1,35 +1,44 @@
 """FheServer: a multi-worker FHE job server with slot-level batching.
 
 The serving loop the ROADMAP's "heavy traffic" north star needs, built on
-the PR 2 backend API plus the registry/batcher of this package:
+the PR 2 backend API plus the registry/batcher/executor of this package:
 
-1. ``submit(program, inputs, plains)`` returns a
+1. ``submit(program, inputs, plains, priority=, deadline_ms=)`` returns a
    :class:`concurrent.futures.Future` immediately; admission is bounded
    (``queue_depth``), so overload applies backpressure instead of growing
    without limit.
 2. Requests are bucketed by ``Program.signature()``.  A bucket flushes
    when it reaches the batch capacity (``max_batch`` clamped to the slot
-   layout's) or when its oldest request has waited ``max_wait_ms`` — the
-   classic size-or-deadline policy, so tail latency is bounded even at
-   low traffic.
-3. Worker threads execute flushed batches: compile/keygen artifacts come
+   layout's), when its oldest request has waited ``max_wait_ms``, or when
+   a request's ``deadline_ms`` is about to lapse — buckets flush
+   earliest-deadline-first, and within a bucket the most urgent
+   (earliest deadline, then highest priority) requests claim the batch
+   slots.  A request whose deadline has already passed fails fast with
+   ``status="expired"`` instead of occupying a batch slot.
+3. Worker threads hand flushed batches to the server's
+   :class:`~repro.serve.executor.Executor`: compile/keygen artifacts come
    from the shared :class:`~repro.serve.registry.ProgramRegistry` (so only
    the first request of a signature pays setup), values are packed by the
    bucket's :class:`~repro.serve.batcher.SlotBatcher`, the program runs
    *once* per batch, and per-request outputs are demultiplexed into each
-   request's :class:`RequestResult`.
+   request's :class:`RequestResult`.  The default
+   :class:`~repro.serve.executor.ThreadExecutor` runs batches in-process
+   under a per-context lock; a
+   :class:`~repro.serve.executor.ProcessExecutor` shards them across
+   worker-process context replicas with no cross-request lock at all.
 4. Programs a batcher cannot pack (rotations, BGV ct x ct MUL) still
    serve correctly in batches of one — batching is an optimization, never
    a semantic restriction.
 
 Every result carries latency, queue time, batch size/occupancy, and
 whether setup artifacts were cache hits; :meth:`FheServer.stats`
-aggregates p50/p99 latency, requests/s, mean occupancy, and registry hit
-rates.
+aggregates p50/p99 latency, requests/s, mean occupancy, registry hit
+rates, and executor dispatch counters.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -41,7 +50,6 @@ import numpy as np
 from repro.backends import (
     F1Backend,
     FunctionalBackend,
-    ReferenceBackend,
     RunResult,
     program_width,
     resolve_backend,
@@ -49,16 +57,33 @@ from repro.backends import (
 )
 from repro.dsl.program import Program
 from repro.serve.batcher import BatchUnsupported, Request, SlotBatcher
+from repro.serve.executor import (
+    BatchJob,
+    Executor,
+    executes_values,
+    resolve_executor,
+)
 from repro.serve.registry import ProgramRegistry
 
 #: most-recent samples kept for p50/p99/occupancy telemetry; counters
 #: (requests, batches, errors) stay exact regardless.
 TELEMETRY_WINDOW = 4096
 
+#: :attr:`RequestResult.status` values
+STATUS_OK = "ok"
+STATUS_EXPIRED = "expired"
+
 
 @dataclass
 class RequestResult:
-    """What serving one request produced, with per-request accounting."""
+    """What serving one request produced, with per-request accounting.
+
+    ``status`` is :data:`STATUS_OK` for a served request and
+    :data:`STATUS_EXPIRED` for one whose ``deadline_ms`` lapsed before a
+    batch could run it — expired requests resolve their Future with this
+    distinct status (``values`` empty) rather than an exception, and never
+    occupy a batch slot.
+    """
 
     values: dict[int, np.ndarray]
     latency_ms: float          # submit -> result, as observed by the client
@@ -70,6 +95,7 @@ class RequestResult:
     backend_time_ms: float | None   # backend time amortized over the batch
     signature: str
     stats: dict = field(default_factory=dict)
+    status: str = STATUS_OK
 
 
 @dataclass
@@ -77,6 +103,19 @@ class _Pending:
     request: Request
     future: Future
     enqueued: float
+    priority: int = 0
+    deadline: float | None = None    # absolute perf_counter seconds
+    #: when the size-or-wait policy owes this request a flush; caps the
+    #: urgency key so deadline-free requests age instead of starving
+    flush_by: float = math.inf
+
+    def urgency(self) -> tuple:
+        """EDF order: earliest effective deadline (the request's own, or
+        its max_wait flush bound — so nothing starves), then highest
+        priority, then FIFO."""
+        effective = min(self.deadline if self.deadline is not None
+                        else math.inf, self.flush_by)
+        return (effective, -self.priority, self.enqueued)
 
 
 class _Group:
@@ -102,6 +141,44 @@ class _Group:
         self.shared_plains: dict[int, np.ndarray] | None = None
         self.lock = threading.Lock()
 
+    def due_time(self, max_wait_s: float, deadline_slack_s: float) -> float:
+        """When this bucket must flush (caller holds ``lock``).
+
+        Each pending request is due at ``enqueued + max_wait`` (the
+        documented batching window, honored exactly) or slightly *before*
+        its deadline (``deadline_slack_s`` early, so a deadline-driven
+        batch can still execute inside its budget), whichever comes
+        first; the bucket is due with its most urgent request — the
+        flusher visits buckets earliest-deadline-first.
+        """
+        return min(
+            (min(p.enqueued + max_wait_s,
+                 p.deadline - deadline_slack_s if p.deadline is not None
+                 else math.inf)
+             for p in self.pending),
+            default=math.inf,
+        )
+
+    def take_batch(self) -> list[_Pending]:
+        """Claim up to ``capacity`` live requests, most urgent first
+        (caller holds ``lock``).
+
+        Requests whose deadline has already lapsed do *not* count against
+        capacity — they ride along at the end of the returned list purely
+        so the executing worker resolves them with the expired status and
+        releases their admission slots; the batch's capacity slots all go
+        to live requests.
+        """
+        now = time.perf_counter()
+        live: list[_Pending] = []
+        lapsed: list[_Pending] = []
+        for p in self.pending:
+            (lapsed if p.deadline is not None and p.deadline <= now
+             else live).append(p)
+        live.sort(key=_Pending.urgency)
+        batch, self.pending = live[: self.capacity], live[self.capacity:]
+        return batch + lapsed
+
 
 class FheServer:
     """Batched, multi-worker serving of DSL programs on any backend.
@@ -113,18 +190,38 @@ class FheServer:
     injected :class:`FunctionalBackend`'s scheme/params/ks settings are
     honored when building cached contexts; ``seed`` (the server's, not
     the backend's) seeds each signature's cached encryption keys.
+
+    ``executor`` decides where flushed batches run: ``"thread"`` (default,
+    in-process with a per-context lock), ``"process"``/a
+    :class:`~repro.serve.executor.ProcessExecutor` instance (a pool of
+    worker-process context replicas, no cross-request lock), or any
+    :class:`~repro.serve.executor.Executor`.  Construct process executors
+    *before* heavily threaded work so the fork happens from a quiet
+    parent; the server closes an executor it constructed from a name, and
+    leaves injected instances to their owner.
     """
 
     def __init__(self, backend="functional", *,
                  registry: ProgramRegistry | None = None, workers: int = 2,
                  max_batch: int | None = None, max_wait_ms: float = 10.0,
-                 queue_depth: int = 128, seed: int = 0):
+                 queue_depth: int = 128, seed: int = 0,
+                 executor: Executor | str = "thread"):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if isinstance(backend, str) and backend == "functional":
             self.backend = FunctionalBackend(validate=False)
         else:
             self.backend = resolve_backend(backend)
+        # Resolve (and, for "process", fork) the executor before any worker
+        # thread starts.  The string "process" sizes the pool to ``workers``
+        # so every worker thread can drive its own process replica.
+        self._own_executor = isinstance(executor, str)
+        if executor == "process":
+            from repro.serve.executor import ProcessExecutor
+
+            self.executor: Executor = ProcessExecutor(workers)
+        else:
+            self.executor = resolve_executor(executor)
         self.registry = registry if registry is not None else ProgramRegistry()
         self.max_batch = max_batch
         self.max_wait_ms = max_wait_ms
@@ -132,8 +229,12 @@ class FheServer:
         self._admission = threading.BoundedSemaphore(queue_depth)
         self._groups: dict[str, _Group] = {}
         self._groups_lock = threading.Lock()
-        self._jobs: list[tuple[_Group, list[_Pending]]] = []
+        #: (urgency, group, batch) triples; workers pop the most urgent
+        self._jobs: list[tuple[tuple, _Group, list[_Pending]]] = []
         self._jobs_ready = threading.Condition()
+        #: separate from _jobs_ready so a worker-bound notify is never
+        #: consumed by the flusher (and vice versa)
+        self._flusher_wake = threading.Condition()
         self._closed = False   # admission gate (set first during close)
         self._stop = False     # worker/flusher shutdown
         self._telemetry_lock = threading.Lock()
@@ -145,6 +246,7 @@ class FheServer:
         self._completed = 0
         self._batches = 0
         self._errors = 0
+        self._expired = 0
         self._first_submit: float | None = None
         self._last_done: float | None = None
         self._workers = [
@@ -161,13 +263,23 @@ class FheServer:
 
     # ------------------------------------------------------------ client API
     def submit(self, program: Program, inputs=None, plains=None, *,
-               width: int | None = None) -> Future:
+               width: int | None = None, priority: int = 0,
+               deadline_ms: float | None = None,
+               seed: int | None = None) -> Future:
         """Enqueue one request; returns a Future[RequestResult].
 
         ``width`` fixes the per-request vector length for this program's
         slot layout; it defaults to the longest vector in the first
         request (later requests must fit the established layout).  Blocks
         when ``queue_depth`` requests are already in flight.
+
+        ``priority`` breaks ties among equally urgent requests (higher
+        first); ``deadline_ms`` is the client's latency budget — it pulls
+        the bucket's flush forward, orders batch admission
+        earliest-deadline-first, and a request whose budget lapses before
+        execution resolves with ``status="expired"`` instead of occupying
+        a batch slot.  ``seed`` pins per-request randomness for requests
+        served singly (it rides the request through any executor).
 
         Admission is strict for batchable programs: vectors must fit the
         group's layout and (on value-executing backends) every INPUT op
@@ -177,7 +289,10 @@ class FheServer:
         """
         if self._closed:
             raise RuntimeError("server is closed")
-        request = Request(inputs=dict(inputs or {}), plains=dict(plains or {}))
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
+        request = Request(inputs=dict(inputs or {}), plains=dict(plains or {}),
+                          seed=seed)
         validate_run_args(program, request.inputs or None,
                           request.plains or None)
         group = self._group_for(program, request, width)
@@ -205,30 +320,46 @@ class FheServer:
                         group.shared_plains = shared
                     else:
                         self._check_shared(group, shared)
-                group.pending.append(_Pending(request, future, now))
+                group.pending.append(_Pending(
+                    request, future, now, priority=priority,
+                    deadline=(now + deadline_ms / 1e3
+                              if deadline_ms is not None else None),
+                    flush_by=now + self.max_wait_ms / 1e3,
+                ))
                 if len(group.pending) >= group.capacity:
-                    ready = group.pending
-                    group.pending = []
+                    ready = group.take_batch()
         except Exception:
             self._admission.release()
             raise
         if ready is not None:
             self._dispatch(group, ready)
+        elif deadline_ms is not None:
+            # Tight budgets cannot wait for the flusher's next scheduled
+            # scan: wake it so a deadline shorter than the scan tick is
+            # dispatched (and served) rather than discovered already dead.
+            with self._flusher_wake:
+                self._flusher_wake.notify()
         return future
 
     def request(self, program: Program, inputs=None, plains=None, *,
-                width: int | None = None) -> RequestResult:
+                width: int | None = None, priority: int = 0,
+                deadline_ms: float | None = None,
+                seed: int | None = None) -> RequestResult:
         """Synchronous convenience: submit and wait."""
-        return self.submit(program, inputs, plains, width=width).result()
+        return self.submit(program, inputs, plains, width=width,
+                           priority=priority, deadline_ms=deadline_ms,
+                           seed=seed).result()
 
     def flush(self) -> None:
         """Dispatch every pending bucket now, regardless of age or size."""
         with self._groups_lock:
             groups = list(self._groups.values())
         for group in groups:
-            with group.lock:
-                ready, group.pending = group.pending, []
-            if ready:
+            while True:
+                with group.lock:
+                    if not group.pending:
+                        break
+                    ready = group.take_batch()
                 self._dispatch(group, ready)
 
     def close(self) -> None:
@@ -244,9 +375,13 @@ class FheServer:
         with self._jobs_ready:
             self._stop = True
             self._jobs_ready.notify_all()
+        with self._flusher_wake:
+            self._flusher_wake.notify_all()
         for thread in self._workers:
             thread.join()
         self._flusher.join()
+        if self._own_executor:
+            self.executor.close()
 
     def __enter__(self) -> "FheServer":
         return self
@@ -256,9 +391,7 @@ class FheServer:
 
     # ------------------------------------------------------------- internals
     def _executes_values(self) -> bool:
-        """Whether the backend encrypts/evaluates request values (as opposed
-        to the analytic models, which only need the op graph)."""
-        return isinstance(self.backend, (FunctionalBackend, ReferenceBackend))
+        return executes_values(self.backend)
 
     @staticmethod
     def _check_shared(group: _Group, shared: dict[int, np.ndarray]) -> None:
@@ -289,8 +422,19 @@ class FheServer:
             return group
 
     def _dispatch(self, group: _Group, batch: list[_Pending]) -> None:
+        # Jobs carry their batch's best urgency: when workers are saturated
+        # and batches queue up, the most urgent batch (earliest deadline,
+        # then highest priority) is executed first — this is where
+        # ``priority=`` becomes observable under load.  Already-lapsed
+        # ride-along requests are excluded from the key: their past
+        # deadlines must not let a batch with no urgent live work preempt
+        # a genuinely urgent one.
+        now = time.perf_counter()
+        live = [p for p in batch
+                if p.deadline is None or p.deadline > now]
+        urgency = min(p.urgency() for p in (live or batch))
         with self._jobs_ready:
-            self._jobs.append((group, batch))
+            self._jobs.append((urgency, group, batch))
             self._jobs_ready.notify()
 
     def _flusher_loop(self) -> None:
@@ -299,17 +443,30 @@ class FheServer:
             with self._jobs_ready:
                 if self._stop:
                     return
-            deadline = time.perf_counter() - self.max_wait_ms / 1e3
+            now = time.perf_counter()
             with self._groups_lock:
                 groups = list(self._groups.values())
+            # Earliest-deadline-first across buckets: the most urgent
+            # bucket's batch reaches the job queue (and a worker) first.
+            due: list[tuple[float, _Group]] = []
             for group in groups:
-                ready = None
                 with group.lock:
-                    if group.pending and group.pending[0].enqueued <= deadline:
-                        ready, group.pending = group.pending, []
+                    # Two ticks of deadline slack: one is consumed by the
+                    # scan interval itself, the second is real execution
+                    # margin — without it a serviceable request could be
+                    # discovered exactly at its deadline and expire idle.
+                    when = group.due_time(self.max_wait_ms / 1e3, 2 * tick)
+                if when <= now:
+                    due.append((when, group))
+            for _, group in sorted(due, key=lambda pair: pair[0]):
+                with group.lock:
+                    ready = group.take_batch() if group.pending else None
                 if ready:
                     self._dispatch(group, ready)
-            time.sleep(tick)
+            with self._flusher_wake:
+                # Sleep one tick, but wake early for tight-deadline
+                # submits (see submit()).
+                self._flusher_wake.wait(timeout=tick)
 
     def _worker_loop(self) -> None:
         while True:
@@ -318,7 +475,9 @@ class FheServer:
                     self._jobs_ready.wait()
                 if not self._jobs and self._stop:
                     return
-                group, batch = self._jobs.pop(0)
+                next_idx = min(range(len(self._jobs)),
+                               key=lambda i: self._jobs[i][0])
+                _, group, batch = self._jobs.pop(next_idx)
             try:
                 self._execute(group, batch)
             except Exception as exc:  # noqa: BLE001 — delivered to futures
@@ -333,77 +492,74 @@ class FheServer:
 
     def _run_batch(self, group: _Group,
                    batch: list[_Pending]) -> tuple[list[dict], RunResult, bool]:
-        """Execute one batch; returns per-request outputs + cache hit flag."""
+        """Build the batch job (registry lookups included) and execute it."""
         program = group.program
         requests = [p.request for p in batch]
+        job = BatchJob(
+            program=program, signature=group.signature, requests=requests,
+            batcher=group.batcher, backend=self.backend,
+        )
+        hit = False
         if isinstance(self.backend, FunctionalBackend):
-            entry, hit = self.registry.context_for(
+            job.context_entry, hit = self.registry.context_for(
                 program, scheme=self.backend.scheme,
                 prime_bits=self.backend.prime_bits,
                 plaintext_modulus=self.backend.plaintext_modulus,
                 seed=self.seed, ks_variant=self.backend.ks_variant,
                 params=self.backend.params,
             )
-            with entry.lock:
-                if group.batcher is not None:
-                    outputs, result = group.batcher.run(
-                        requests, self.backend, context=entry.context
-                    )
-                else:
-                    outputs, result = self._run_singly(
-                        program, requests, context=entry.context
-                    )
-            return outputs, result, hit
-        if isinstance(self.backend, F1Backend):
-            entry, hit = self.registry.compiled_for(
+        elif isinstance(self.backend, F1Backend):
+            job.compiled_entry, hit = self.registry.compiled_for(
                 program, self.backend.config,
                 scheduler=self.backend.scheduler,
                 ks_choice=self.backend.ks_choice, check=self.backend.check,
             )
-            result = self.backend.run(program, compiled=entry.compiled)
-            k = len(batch)
-            outputs = (group.batcher.unpack(result.outputs, k)
-                       if group.batcher is not None else [{} for _ in batch])
-            return outputs, result, hit
-        if not self._executes_values():
-            # Analytic models (cpu, heax): one run models the whole batch;
-            # there are no values to pack and no outputs to demux.
-            result = self.backend.run(program)
-            return [{} for _ in batch], result, False
-        # Reference backend: packs and executes values, no cacheable setup.
-        if group.batcher is not None:
-            outputs, result = group.batcher.run(requests, self.backend)
-        else:
-            outputs, result = self._run_singly(program, requests)
-        return outputs, result, False
+        outputs, result = self.executor.execute(job)
+        return outputs, result, hit
 
-    def _run_singly(self, program: Program, requests: list[Request],
-                    **run_kw) -> tuple[list[dict], RunResult]:
-        """Fallback for unbatchable programs: one backend run per request."""
-        outputs = []
-        result: RunResult | None = None
-        for req in requests:
-            result = self.backend.run(
-                program, inputs=req.inputs or None, plains=req.plains or None,
-                **run_kw,
-            )
-            outputs.append(result.outputs)
-        return outputs, result
+    def _expire(self, group: _Group, pending: _Pending, now: float) -> None:
+        """Resolve one past-deadline request with the distinct status."""
+        if pending.future.set_running_or_notify_cancel():
+            pending.future.set_result(RequestResult(
+                values={},
+                latency_ms=(now - pending.enqueued) * 1e3,
+                queue_ms=(now - pending.enqueued) * 1e3,
+                batch_size=0,
+                batch_occupancy=0.0,
+                cache_hit=False,
+                backend=getattr(self.backend, "name", str(self.backend)),
+                backend_time_ms=None,
+                signature=group.signature,
+                status=STATUS_EXPIRED,
+            ))
+        with self._telemetry_lock:
+            self._expired += 1
 
     def _execute(self, group: _Group, batch: list[_Pending]) -> None:
+        # Fail past-deadline requests fast: they resolve with the expired
+        # status immediately and never occupy a batch slot.
+        now = time.perf_counter()
+        live_batch = []
+        for pending in batch:
+            if pending.deadline is not None and now >= pending.deadline:
+                self._expire(group, pending, now)
+            else:
+                live_batch.append(pending)
+        if not live_batch:
+            return
         # Claim every future up front: one that a client already cancelled
         # is simply skipped, and can no longer flip to cancelled while we
         # deliver results below.
-        live = [p.future.set_running_or_notify_cancel() for p in batch]
+        live = [p.future.set_running_or_notify_cancel() for p in live_batch]
         started = time.perf_counter()
-        outputs, result, hit = self._run_batch(group, batch)
+        outputs, result, hit = self._run_batch(group, live_batch)
         done = time.perf_counter()
-        k = len(batch)
+        k = len(live_batch)
         batched = group.batcher is not None
         occupancy = group.batcher.occupancy(k) if batched else 1.0
         time_share = (result.time_ms / k
                       if result.time_ms is not None and batched else result.time_ms)
-        for pending, values, alive in zip(batch, outputs, live):
+        for pending, values, alive in zip(live_batch, outputs, live):
             if not alive:
                 continue
             pending.future.set_result(RequestResult(
@@ -423,7 +579,7 @@ class FheServer:
             self._completed += k
             self._occupancies.append(occupancy)
             self._last_done = done
-            for pending in batch:
+            for pending in live_batch:
                 self._latencies_ms.append((done - pending.enqueued) * 1e3)
                 self._queue_ms.append((started - pending.enqueued) * 1e3)
 
@@ -439,6 +595,7 @@ class FheServer:
                 "requests": self._completed,
                 "batches": self._batches,
                 "errors": self._errors,
+                "expired": self._expired,
                 "requests_per_s": self._completed / span if span > 0 else 0.0,
                 "mean_batch_size": (self._completed / self._batches
                                     if self._batches else 0.0),
@@ -448,6 +605,7 @@ class FheServer:
                 "queue_ms": _percentiles(queue),
             }
         out["registry"] = self.registry.stats()
+        out["executor"] = self.executor.stats()
         return out
 
 

@@ -21,7 +21,9 @@ Steps, in order:
 ``-m "not slow"`` (deselecting the bootstrapping/GSW functional suites, see
 ``pytest.ini``) and skips the perf gate and examples smoke, so fast checks
 — including the multi-threaded serving stress tests — finish in seconds
-instead of minutes.
+instead of minutes.  Both modes additionally run a 2-process executor
+smoke (fresh interpreter, forked worker pool, context replication from
+serialized keys) so CI always exercises the process-pool serving path.
 
 Exits non-zero if any step fails, so CI can gate on this single command.
 """
@@ -75,6 +77,14 @@ def main(argv: list[str] | None = None) -> int:
         tier1 = _step("tier-1", [py, "-m", "pytest", "-x", "-q",
                                  "tests", "benchmarks"])
     results = [tier1]
+    # A 2-process executor smoke in a fresh interpreter: exercises the fork
+    # path, context replication from serialized keys, and thread-vs-process
+    # output bit-identity — cheap enough to keep in the --fast gate.
+    results.append(_step(
+        "process smoke",
+        [py, "-c", "import sys; from repro.serve.executor import "
+                   "process_smoke; sys.exit(process_smoke(2))"],
+    ))
     if not (args.fast or args.skip_perf):
         results.append(
             _step("perf gate", [py, str(REPO_ROOT / "benchmarks" / "check_perf.py")])

@@ -14,6 +14,7 @@ The serving-layer invariants:
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -22,6 +23,8 @@ import repro
 from repro.backends import validate_run_args
 from repro.dsl.program import Program
 from repro.serve import (
+    STATUS_EXPIRED,
+    STATUS_OK,
     BatchUnsupported,
     FheServer,
     ProgramRegistry,
@@ -510,6 +513,223 @@ class TestFheServer:
             results = [f.result(timeout=60) for f in futures]
         assert all(r.values == {} for r in results)
         assert all(r.backend == "cpu" for r in results)
+
+
+class TestMultiOutputDemux:
+    """Programs with several OUTPUT handles of differing widths demux
+    each output bit-identically to solo runs."""
+
+    @staticmethod
+    def two_output_bgv(n=N, level=3):
+        p = Program(n=n, scheme="bgv", name="two_out")
+        x = p.input(level, name="x")
+        w = p.input_plain(level, name="w")
+        b = p.input_plain(level, name="b")
+        p.output(p.mul_plain(x, w), name="scored")   # growth 1: wide output
+        p.output(p.add_plain(x, b), name="biased")   # growth 0: narrow output
+        return p
+
+    def test_output_widths_differ(self):
+        program = self.two_output_bgv()
+        batcher = SlotBatcher(program, width=WIDTH)
+        wide = [op for op in program.ops if op.name == "scored"][0].op_id
+        narrow = [op for op in program.ops if op.name == "biased"][0].op_id
+        assert batcher.output_widths[wide] == 2 * WIDTH - 1
+        assert batcher.output_widths[narrow] == WIDTH
+        # Stride covers the widest value, not one growth per MUL_PLAIN op.
+        assert batcher.stride == 2 * WIDTH - 1
+
+    def test_parallel_branches_share_stride(self):
+        """Two MUL_PLAINs on parallel branches need one growth, not two."""
+        p = Program(n=N, scheme="bgv")
+        x, y = p.input(3), p.input(3)
+        p.output(p.add(p.mul_plain(x), p.mul_plain(y)))
+        assert SlotBatcher(p, width=WIDTH).stride == 2 * WIDTH - 1
+
+    def test_chained_mul_plain_accumulates_growth(self):
+        p = Program(n=N, scheme="bgv")
+        x = p.input(3)
+        p.output(p.mul_plain(p.mul_plain(x)))
+        assert SlotBatcher(p, width=WIDTH).stride == 3 * WIDTH - 2
+
+    def test_bgv_batched_outputs_match_solo(self):
+        program = self.two_output_bgv()
+        batcher = SlotBatcher(program, width=WIDTH)
+        requests = bgv_requests(program, 4)
+        outs, _ = batcher.run(requests, repro.FunctionalBackend("bgv"), seed=3)
+        for j, request in enumerate(requests):
+            solo = repro.run(
+                program, backend=repro.FunctionalBackend("bgv"),
+                inputs=request.inputs, plains=request.plains, seed=11,
+            )
+            for out_id, solo_vec in solo.outputs.items():
+                got = outs[j][out_id]
+                assert got.shape[0] == batcher.output_widths[out_id]
+                assert np.array_equal(
+                    got % 256, np.asarray(solo_vec)[: got.shape[0]] % 256
+                ), f"request {j} output {out_id} not bit-identical"
+
+    def test_ckks_multi_output_served(self):
+        p = Program(n=N, scheme="ckks", name="two_out_ckks")
+        x, y = p.input(4), p.input(4)
+        p.output(p.mul(x, y), name="prod")
+        p.output(p.add(x, y), name="sum")
+        requests = ckks_requests(p, 6)
+        with FheServer(max_batch=3, max_wait_ms=5.0) as server:
+            futures = [server.submit(p, inputs=r.inputs, width=WIDTH)
+                       for r in requests]
+            results = [f.result(timeout=60) for f in futures]
+        x_id, y_id = p.ops[0].op_id, p.ops[1].op_id
+        out_ids = [op.op_id for op in p.ops
+                   if op.kind is repro.dsl.program.OpKind.OUTPUT]
+        for request, result in zip(requests, results):
+            xv, yv = request.inputs[x_id], request.inputs[y_id]
+            for out_id, want in zip(out_ids, (xv * yv, xv + yv)):
+                got = result.values[out_id][:WIDTH]
+                assert np.max(np.abs(got - want)) < 2e-2
+
+
+class TestPriorityDeadline:
+    def test_expired_request_fails_fast_with_status(self):
+        # A microsecond-scale budget lapses inside the dispatch pipeline
+        # itself (thread wakeups alone take longer), so expiry is certain
+        # even though the flusher is woken immediately.
+        program = poly_ckks()
+        request = ckks_requests(program, 1)[0]
+        with FheServer(max_batch=64, max_wait_ms=300.0) as server:
+            result = server.submit(program, inputs=request.inputs,
+                                   deadline_ms=0.001).result(timeout=60)
+            stats = server.stats()
+        assert result.status == STATUS_EXPIRED
+        assert result.values == {} and result.batch_size == 0
+        # Failed fast: nowhere near the 300 ms bucket wait.
+        assert result.latency_ms < 250.0
+        assert stats["expired"] == 1 and stats["errors"] == 0
+
+    def test_deadline_pulls_flush_forward(self):
+        """A request with a budget tighter than max_wait is served early."""
+        program = poly_ckks()
+        request = ckks_requests(program, 1)[0]
+        with FheServer(max_batch=64, max_wait_ms=5000.0) as server:
+            start = time.perf_counter()
+            result = server.submit(program, inputs=request.inputs,
+                                   deadline_ms=500.0).result(timeout=60)
+            elapsed = time.perf_counter() - start
+        assert result.status == STATUS_OK and result.values
+        assert elapsed < 3.0   # nowhere near the 5 s size-or-wait flush
+
+    def test_sub_tick_deadline_served_on_idle_server(self):
+        """A budget shorter than the flusher scan tick wakes the flusher:
+        the request is served, not discovered already expired."""
+        program = poly_ckks()
+        requests = ckks_requests(program, 2)
+        with FheServer(max_batch=64, max_wait_ms=300.0) as server:
+            # Warm keygen/compile so the deadline run is execution-only.
+            server.request(program, inputs=requests[0].inputs, width=WIDTH)
+            result = server.submit(program, inputs=requests[1].inputs,
+                                   width=WIDTH,
+                                   deadline_ms=40.0).result(timeout=60)
+        assert result.status == STATUS_OK and result.values
+
+    def test_invalid_deadline_rejected(self):
+        program = poly_ckks()
+        request = ckks_requests(program, 1)[0]
+        with FheServer() as server:
+            with pytest.raises(ValueError, match="deadline_ms"):
+                server.submit(program, inputs=request.inputs, deadline_ms=0)
+
+    def test_urgent_requests_claim_batch_slots(self):
+        """EDF ordering: with more pending than capacity, the earliest
+        deadline and highest priority win the batch (white-box)."""
+        from repro.serve.server import _Group, _Pending
+        from concurrent.futures import Future
+
+        program = poly_ckks()
+        group = _Group(program, program.signature(), WIDTH, max_batch=2)
+        now = time.perf_counter()
+        lax = _Pending(Request(), Future(), now, priority=0, deadline=None)
+        soon = _Pending(Request(), Future(), now + 1e-6, priority=0,
+                        deadline=now + 0.010)
+        late = _Pending(Request(), Future(), now + 2e-6, priority=0,
+                        deadline=now + 0.500)
+        vip = _Pending(Request(), Future(), now + 3e-6, priority=9,
+                       deadline=now + 0.500)
+        group.pending = [lax, soon, late, vip]
+        batch = group.take_batch()
+        assert batch == [soon, vip]          # EDF first, then priority
+        assert group.pending == [late, lax]  # leftovers keep EDF order
+
+    def test_expired_requests_do_not_claim_batch_slots(self):
+        """A lapsed request rides along for fast expiry but its capacity
+        slot goes to a live request (white-box)."""
+        from concurrent.futures import Future
+        from repro.serve.server import _Group, _Pending
+
+        program = poly_ckks()
+        group = _Group(program, program.signature(), WIDTH, max_batch=2)
+        now = time.perf_counter()
+        live_a = _Pending(Request(), Future(), now)
+        lapsed = _Pending(Request(), Future(), now + 1e-6,
+                          deadline=now - 1e-3)
+        live_b = _Pending(Request(), Future(), now + 2e-6)
+        group.pending = [live_a, lapsed, live_b]
+        batch = group.take_batch()
+        assert batch == [live_a, live_b, lapsed]
+        assert group.pending == []
+
+    def test_saturated_workers_run_urgent_batches_first(self):
+        """Queued jobs are popped most-urgent-first (white-box): this is
+        where priority= becomes observable under load."""
+        from concurrent.futures import Future
+        from repro.serve.server import _Pending
+
+        program = poly_ckks()
+        request = ckks_requests(program, 1)[0]
+        server = FheServer(workers=1, max_wait_ms=10_000.0)
+        try:
+            group = server._group_for(program, request, WIDTH)
+            now = time.perf_counter()
+
+            def job(priority, deadline=None):
+                pending = _Pending(Request(), Future(), now,
+                                   priority=priority, deadline=deadline)
+                return (pending.urgency(), group, [pending])
+
+            with server._jobs_ready:
+                server._jobs.extend([
+                    job(0), job(9), job(0, deadline=now + 0.01),
+                ])
+                order = []
+                while server._jobs:
+                    idx = min(range(len(server._jobs)),
+                              key=lambda i: server._jobs[i][0])
+                    order.append(server._jobs.pop(idx))
+            # Deadline-bearing batch first, then highest priority, then FIFO.
+            assert [j[2][0].deadline is not None for j in order] \
+                == [True, False, False]
+            assert [j[2][0].priority for j in order] == [0, 9, 0]
+        finally:
+            server.close()
+
+    def test_mixed_deadline_traffic_all_accounted(self):
+        """Expired and served requests both resolve; nothing strands."""
+        program = poly_ckks()
+        requests = ckks_requests(program, 6)
+        with FheServer(max_batch=64, max_wait_ms=400.0, workers=2) as server:
+            doomed = [server.submit(program, inputs=r.inputs, width=WIDTH,
+                                    deadline_ms=0.001)   # lapses in-pipeline
+                      for r in requests[:3]]
+            served = [server.submit(program, inputs=r.inputs, width=WIDTH)
+                      for r in requests[3:]]
+            server.flush()
+            doomed_results = [f.result(timeout=60) for f in doomed]
+            served_results = [f.result(timeout=60) for f in served]
+            stats = server.stats()
+        assert all(r.status == STATUS_EXPIRED for r in doomed_results)
+        assert all(r.status == STATUS_OK and r.values
+                   for r in served_results)
+        assert stats["expired"] == 3
+        assert stats["requests"] == 3   # only live requests count as served
 
 
 class TestRunValidation:
