@@ -12,7 +12,8 @@ Times a fixed set of hot kernels (all-limb NTT, CRT conversions, base
 extension, Listing-1 key switch, hoisted rotations, the chained modulus
 switch, plus the serving hot paths: slot pack/unpack, registry lookup,
 the context serde round-trip paid when replicating state into a worker
-process, and the executor's batch-dispatch overhead)
+process, the executor's batch-dispatch overhead, and the level/rotation
+batching paths: a mixed-level BGV batch and a masked CKKS rotation batch)
 and compares each against the recorded baseline in ``BENCH_engine.json``
 next to this script.  A kernel regresses if it is more than ``--tolerance``
 times slower than baseline (generous by default: baselines travel between
@@ -110,6 +111,31 @@ def _kernels():
         requests=serve_requests, batcher=batcher, backend=CpuBackend(),
     )
 
+    # Level- and rotation-aware batching hot paths: a mixed-level BGV
+    # batch (per-cohort encrypt + mod-switch + merge at the INPUTs) and a
+    # CKKS rotation batch (rotate-then-mask lowering), both end-to-end
+    # batcher.run calls on prebuilt contexts so keygen stays untimed.
+    from repro.backends import FunctionalBackend
+    from repro.bench.loadgen import (
+        linear_bgv_program,
+        mixed_level_requests,
+        rotation_ckks_program,
+    )
+
+    cross_program = linear_bgv_program(256)
+    cross_batcher = SlotBatcher(cross_program, width=8)
+    cross_requests = mixed_level_requests(
+        cross_program, 4, width=8, levels=(3, 2), seed=5
+    )
+    cross_entry, _ = registry.context_for(cross_program, seed=3)
+    rot_program = rotation_ckks_program(256)
+    rot_batcher = SlotBatcher(rot_program, width=8)
+    rot_requests = mixed_level_requests(
+        rot_program, 4, width=8, levels=(3, 3), seed=5
+    )
+    rot_entry, _ = registry.context_for(rot_program, seed=3)
+    serve_backend = FunctionalBackend(validate=False)
+
     return {
         "ntt_forward_all_limb": lambda: ctx.forward(limbs),
         "ntt_inverse_all_limb": lambda: ctx.inverse(evals),
@@ -129,6 +155,14 @@ def _kernels():
         ),
         "serde_context_roundtrip": lambda: pickle.loads(pickle.dumps(bgv)),
         "serve_dispatch": lambda: dispatch_executor.execute(dispatch_job),
+        "serve_cross_level_pack": lambda: cross_batcher.run(
+            cross_requests, backend=serve_backend,
+            context=cross_entry.context, seed=3,
+        ),
+        "serve_rotation_batch": lambda: rot_batcher.run(
+            rot_requests, backend=serve_backend,
+            context=rot_entry.context, seed=3,
+        ),
     }
 
 

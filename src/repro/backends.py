@@ -261,7 +261,8 @@ class FunctionalBackend:
         )
 
     def run(self, program: Program, *, inputs=None, plains=None,
-            seed: int | None = None, context: FheContext | None = None) -> RunResult:
+            seed: int | None = None, context: FheContext | None = None,
+            batch_layout=None) -> RunResult:
         validate_run_args(program, inputs, plains)
         scheme = self.scheme or ("ckks" if program.scheme == "ckks" else "bgv")
         if scheme != program.scheme and not (scheme == "bgv" and program.scheme == "gsw"):
@@ -290,7 +291,7 @@ class FunctionalBackend:
             ks_variant=self.ks_variant, context=context,
         )
         start = time.perf_counter()
-        outputs = sim.run(inputs or {}, plains or {})
+        outputs = sim.run(inputs or {}, plains or {}, batch_layout=batch_layout)
         wall_ms = (time.perf_counter() - start) * 1e3
         stats: dict = {
             "scheme": scheme,
@@ -302,6 +303,7 @@ class FunctionalBackend:
             reference = evaluate_reference(
                 program, inputs or {}, plains or {},
                 plaintext_modulus=params.plaintext_modulus,
+                batch_layout=batch_layout,
             )
             stats.update(self._validated(scheme, params, outputs, reference))
         return RunResult(
@@ -346,7 +348,7 @@ class ReferenceBackend:
         self.plaintext_modulus = plaintext_modulus
 
     def run(self, program: Program, *, inputs=None, plains=None,
-            seed: int | None = None) -> RunResult:
+            seed: int | None = None, batch_layout=None) -> RunResult:
         validate_run_args(program, inputs, plains)
         t = self.plaintext_modulus or default_plaintext_modulus(program)
         if inputs is None or plains is None:
@@ -359,6 +361,7 @@ class ReferenceBackend:
         start = time.perf_counter()
         outputs = evaluate_reference(
             program, inputs or {}, plains or {}, plaintext_modulus=t,
+            batch_layout=batch_layout,
         )
         wall_ms = (time.perf_counter() - start) * 1e3
         counts, hints = _graph_stats(program)

@@ -10,6 +10,8 @@ switching), and slots are N/2 complex values.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.fhe import noise as noise_model
@@ -128,6 +130,23 @@ class CkksContext(BgvContext):
         coeffs = CkksEncoder(self.params.n, scale).encode(values)
         m = small_poly(ct.basis, coeffs, Domain.NTT)
         return ct.with_polys(ct.a * m, ct.b * m, scale=ct.scale * scale)
+
+    def mul_mask(self, ct: Ciphertext, mask) -> Ciphertext:
+        """Multiply by a 0/1 lane mask at a cheap exact scale.
+
+        A mask at the full default scale would double the ciphertext's
+        scale budget for what is conceptually a selection, while a mask at
+        scale ~1 encodes 0/1 slot values inaccurately (they are not
+        constant polynomials).  The compromise is an exact power of two
+        near sqrt(Delta): per-slot encode error ~ sqrt(N/2)/2 / 2^14 (a
+        few 1e-4 at test sizes), and because the scale is exactly
+        representable, downstream scale alignment (`_matched_scales`
+        amplification by powers of two) stays error-free.  The existing
+        rescale waterline (sqrt(Delta)) absorbs the extra factor without
+        consuming a limb, so masked and unmasked paths keep level parity.
+        """
+        amp = 2.0 ** round(math.log2(self.default_scale) / 2.0)
+        return self.mul_plain(ct, np.asarray(mask), scale=amp)
 
     def mul(self, ct0: Ciphertext, ct1: Ciphertext, *, relinearize: bool = True) -> Ciphertext:
         self._check_ckks_pair(ct0, ct1, "mul")

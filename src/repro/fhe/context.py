@@ -73,6 +73,19 @@ class FheContext(abc.ABC):
     @abc.abstractmethod
     def rotate(self, ct: Ciphertext, steps: int) -> Ciphertext: ...
 
+    def mul_mask(self, ct: Ciphertext, mask) -> Ciphertext:
+        """Multiply by a 0/1 lane mask (zero the lanes where ``mask`` is 0).
+
+        Semantically this is just ``mul_plain``, but masks deserve their
+        own entry point because schemes can encode them more carefully
+        than a generic plaintext: CKKS overrides this to encode the mask
+        at an exact power-of-two scale near sqrt(Delta), so masking (the
+        slot-batching rotate-then-mask lowering) costs far less precision
+        and scale growth than a full-Delta multiply.  For BGV a 0/1 vector
+        is exact at any scale, so the default is fine.
+        """
+        return self.mul_plain(ct, np.asarray(mask))
+
     def rotate_many(self, ct: Ciphertext, steps: list[int]) -> list[Ciphertext]:
         """Rotate one ciphertext by several amounts.
 

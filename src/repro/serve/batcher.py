@@ -16,7 +16,13 @@ layout, which depends on the scheme's plaintext semantics (defined by
 - **CKKS** values live in N/2 canonical-embedding slots and *every* DSL op
   except ROTATE is slot-wise (including ct x ct MUL) — so any
   rotation-free CKKS program batches, with per-request plains tiled into
-  each block.
+  each block.  A ROTATE is *also* batchable when every step is
+  non-negative: the packed ciphertext is rotated once globally, then a
+  0/1 plaintext mask zeroes the lanes that received a neighbor block's
+  values — exactly the lanes a solo run's zero padding would leave empty,
+  since leftward rotation keeps each request's data inside its own block.
+  Negative steps move data *rightwards* past the block edge (where solo
+  runs keep it and a mask would destroy it), so they stay unbatchable.
 - **BGV** values are coefficient vectors; ADD/SUB/ADD_PLAIN/MOD_SWITCH are
   coefficient-wise, but MUL/MUL_PLAIN are negacyclic convolutions.  A
   ct x ct MUL mixes blocks irrecoverably (cross terms land on diagonal
@@ -59,11 +65,192 @@ class Request:
     runs served one at a time; it travels *with the request* through
     whatever executor/process ends up running it, so seeded runs are
     deterministic across process boundaries.
+
+    ``level`` is the request's arrival depth: the number of RNS limbs its
+    fresh inputs carry, at most the program's declared input level
+    (``None`` means "at the program's level", the common case).  Requests
+    at different levels still share a batch: packing mod-switches every
+    cohort down to the shallowest request's waterline before the program
+    runs (see :func:`level_alignment_plan`).
     """
 
     inputs: dict[int, np.ndarray] = field(default_factory=dict)
     plains: dict[int, np.ndarray] = field(default_factory=dict)
     seed: int | None = None
+    level: int | None = None
+
+
+@dataclass(frozen=True)
+class BatchLayout:
+    """How a specific batch maps onto the packed ciphertext.
+
+    Produced by :meth:`SlotBatcher.layout` and handed to value backends as
+    the ``batch_layout`` run argument; it is ``None`` (and omitted) for
+    the plain uniform case, so single-request and rotation-free
+    uniform-level runs execute exactly as before.  The dataclass is frozen
+    and holds only primitives, so it pickles across the process-pool
+    executor boundary unchanged.
+
+    ``levels[j]`` is request j's arrival level; ``base_level`` the
+    program's declared input level.  ``masked_rotations`` tells the
+    interpreter to follow every ROTATE with the 0/1 block-edge mask
+    (CKKS-only; always False when the program has no rotations).
+    """
+
+    scheme: str
+    width: int
+    stride: int
+    count: int
+    base_level: int
+    levels: tuple[int, ...]
+    masked_rotations: bool
+
+
+#: The envelope assumes the repo's default 28-bit limbs: ``Delta`` (the
+#: CKKS encoding scale) is one limb wide and rotation masks cost half a
+#: limb (``mul_mask`` encodes at ``2^14 ~ sqrt(Delta)``).
+_LIMB_BITS = 28
+_MASK_BITS = _LIMB_BITS // 2
+#: Headroom reserved above the accumulated scale for the plaintext value
+#: and noise: the phase ``scale * v`` must stay under Q/2 at every op, so
+#: batched CKKS values are assumed to stay below ~2^5 in magnitude.
+_VALUE_MARGIN_BITS = 6
+#: Scale-mismatch adds amplify both sides by up to 2^20 so the fixup
+#: constant keeps enough bits (see FunctionalSim._matched_ckks).
+_AMP_BITS = 20
+
+
+def _added_scale(s0, s1):
+    """Scale state after a CKKS add: ``(delta_exp, pow2_bits, exact)``.
+
+    Scales are exactly ``Delta^a * 2^m`` until a rescale divides by a
+    prime limb.  Equal Delta-exponents give an exact power-of-two ratio,
+    which `_matched_ckks` fixes up with no amplification; anything else
+    may amplify both addends by up to ``2^_AMP_BITS`` unless the ratio is
+    already wide enough to encode accurately.
+    """
+    a0, m0, e0 = s0
+    a1, m1, e1 = s1
+    if e0 and e1 and a0 == a1:
+        return (a0, max(m0, m1), True)
+    b0 = _LIMB_BITS * a0 + m0
+    b1 = _LIMB_BITS * a1 + m1
+    big = s0 if b0 >= b1 else s1
+    if abs(b0 - b1) >= _AMP_BITS:
+        return big
+    return (big[0], big[1] + _AMP_BITS, False)
+
+
+def _ckks_min_level(program: Program, base: int) -> int:
+    """Deepest arrival level at which every op's phase still fits Q.
+
+    Walks the op graph tracking each ciphertext's scale as
+    ``Delta^a * 2^m`` (plus an exactness flag that survives everything but
+    rescaling).  An op shifted ``delta`` levels down keeps its value iff
+    its modulus still dominates its phase:
+    ``_LIMB_BITS * (op.level - delta) >= scale_bits + _VALUE_MARGIN_BITS``.
+    The batch may shift only as deep as the *tightest* op allows.
+    """
+    state: dict[int, tuple[int, int, bool]] = {}
+    max_delta = base - 1
+    for op in program.ops:
+        kind = op.kind
+        if kind is OpKind.INPUT:
+            s = (1, 0, True)
+        elif kind is OpKind.INPUT_PLAIN:
+            continue
+        elif kind in (OpKind.ADD, OpKind.SUB):
+            s = _added_scale(state[op.args[0]], state[op.args[1]])
+        elif kind is OpKind.MUL:
+            a0, m0, e0 = state[op.args[0]]
+            a1, m1, e1 = state[op.args[1]]
+            s = (a0 + a1, m0 + m1, e0 and e1)
+        elif kind is OpKind.MUL_PLAIN:
+            a, m, e = state[op.args[0]]
+            s = (a + 1, m, e)
+        elif kind is OpKind.ROTATE:
+            # Batched CKKS rotations are always masked (rotate-then-mask).
+            a, m, e = state[op.args[0]]
+            s = (a, m + _MASK_BITS, e)
+        elif kind is OpKind.MOD_SWITCH:
+            # Mirrors FunctionalSim._level_drop: rescale (divide by one
+            # prime limb) only while the result keeps >= sqrt(Delta) of
+            # scale, else the value-preserving mod-down.
+            a, m, e = state[op.args[0]]
+            if _LIMB_BITS * a + m - _LIMB_BITS >= _MASK_BITS:
+                s = (a - 1, m, False)
+            else:
+                s = (a, m, e)
+        else:  # ADD_PLAIN keeps the ct scale; OUTPUT inherits its arg.
+            s = state[op.args[0]]
+        state[op.op_id] = s
+        a, m, _ = s
+        need = -(-(_LIMB_BITS * a + m + _VALUE_MARGIN_BITS) // _LIMB_BITS)
+        max_delta = min(max_delta, op.level - need)
+    return base - max(0, max_delta)
+
+
+def level_alignment_plan(program: Program) -> dict:
+    """The per-program cross-level batching envelope.
+
+    ``base_level`` is the program's declared input depth (what a
+    ``level=None`` request means); ``min_level`` the deepest arrival level
+    a request may have while every op still keeps enough limbs after the
+    whole graph is shifted down by the request's deficit.  Shifting is
+    sound because BGV modulus switching preserves the plaintext exactly
+    and CKKS ``mod_switch`` preserves value and scale, so a program run
+    ``delta`` levels lower computes the same function.
+
+    BGV only needs one limb everywhere (the plaintext lives mod t,
+    independent of Q).  CKKS is bounded by *scale headroom*: the phase is
+    ``scale * v`` with the scale compounding through every multiplicative
+    op (one limb per MUL_PLAIN, half a limb per rotation mask), and once
+    it crowds the shifted modulus the values wrap and decrypt to noise —
+    :func:`_ckks_min_level` walks the graph to find the deepest safe
+    shift.
+    """
+    input_levels = [op.level for op in program.ops if op.kind is OpKind.INPUT]
+    base = max(input_levels, default=1)
+    if program.scheme == "ckks":
+        min_level = _ckks_min_level(program, base)
+    else:
+        min_op = min((op.level for op in program.ops), default=1)
+        min_level = max(1, base - (min_op - 1))
+    return {
+        "base_level": base,
+        "min_level": min(base, min_level),
+        "input_levels": tuple(input_levels),
+    }
+
+
+def check_request_level(plan: dict, level: int) -> None:
+    """Admission-time validation of a request's arrival level."""
+    lo, hi = plan["min_level"], plan["base_level"]
+    if not lo <= level <= hi:
+        raise ValueError(
+            f"request level {level} outside this program's batchable range "
+            f"[{lo}, {hi}] (inputs at level {hi}; deeper arrivals would "
+            f"drop some op below one limb)"
+        )
+
+
+def solo_layout(program: Program, level: int) -> BatchLayout:
+    """A one-request layout: run the whole program ``base - level`` limbs
+    lower, with the request owning every lane.
+
+    This is how unbatchable programs (and batches of one) honor a
+    request's arrival level — same INPUT lowering as a real batch, no
+    packing and no rotation masks.
+    """
+    plan = level_alignment_plan(program)
+    check_request_level(plan, level)
+    lanes = program.n // 2 if program.scheme == "ckks" else program.n
+    return BatchLayout(
+        scheme="ckks" if program.scheme == "ckks" else "bgv",
+        width=lanes, stride=lanes, count=1,
+        base_level=plan["base_level"], levels=(level,),
+        masked_rotations=False,
+    )
 
 
 def _coerce(request) -> Request:
@@ -77,15 +264,27 @@ def _coerce(request) -> Request:
 def unbatchable_reason(program: Program) -> str | None:
     """Why this program cannot be slot-batched, or None if it can.
 
-    ROTATE moves data across lane boundaries in both schemes.  For BGV
-    (coefficient semantics) ct x ct MUL is a full negacyclic convolution
-    whose cross-request terms cannot be separated; and a plain input that
-    feeds both a MUL_PLAIN (must stay shared/untiled) and an ADD_PLAIN
-    (must be tiled per request) has no consistent packing.
+    CKKS ROTATE batches when every step is non-negative (lowered to
+    rotate-then-mask; see the module docstring) — negative steps push
+    request data rightwards across its block edge, where the mask that
+    keeps neighbor blocks out would also destroy the request's own values.
+    BGV ROTATE is a coefficient automorphism (index map ``i -> i*3^s``)
+    that scatters lanes across the whole ring, so it never batches.  For
+    BGV (coefficient semantics) ct x ct MUL is a full negacyclic
+    convolution whose cross-request terms cannot be separated; and a plain
+    input that feeds both a MUL_PLAIN (must stay shared/untiled) and an
+    ADD_PLAIN (must be tiled per request) has no consistent packing.
     """
     kinds = {op.kind for op in program.ops}
     if OpKind.ROTATE in kinds:
-        return "ROTATE moves values across request lanes"
+        if program.scheme != "ckks":
+            return ("BGV ROTATE is a coefficient automorphism that scatters "
+                    "values across the whole ring")
+        if any(op.rotate_steps < 0 for op in program.ops
+               if op.kind is OpKind.ROTATE):
+            return ("CKKS ROTATE with negative steps pushes request values "
+                    "across their block edge where the batch mask would "
+                    "destroy them")
     if program.scheme != "ckks":
         if OpKind.MUL in kinds:
             return ("BGV ct x ct MUL is a negacyclic convolution that mixes "
@@ -139,6 +338,23 @@ class SlotBatcher:
             self.stride = width
         else:
             self.stride = width + max_growth * (self.plain_width - 1)
+        self.rotation_steps = tuple(sorted({
+            op.rotate_steps for op in program.ops
+            if op.kind is OpKind.ROTATE and op.rotate_steps
+        }))
+        # Rotate-then-mask keeps blocks separate only while no rotation
+        # wraps the *last* block's data around to lane 0 (np.roll / slot
+        # rotation is cyclic); every interior block edge is handled by the
+        # mask, the ring edge is not.
+        if self.rotation_steps:
+            max_step = max(self.rotation_steps)
+            if self.stride + max_step > self._lanes:
+                raise BatchUnsupported(
+                    f"rotation by {max_step} wraps the last request block "
+                    f"around the ring edge (stride {self.stride}, "
+                    f"{self._lanes} lanes); shrink width or the ring"
+                )
+        self.level_plan = level_alignment_plan(program)
         self.output_widths: dict[int, int] = {
             op.op_id: (width if self.scheme == "ckks"
                        else width + self._growth[op.op_id]
@@ -195,6 +411,8 @@ class SlotBatcher:
         (batched serving cannot generate per-request defaults).
         """
         request = _coerce(request)
+        if request.level is not None:
+            check_request_level(self.level_plan, request.level)
         if require_inputs:
             missing = [op_id for op_id in self._input_ids
                        if op_id not in request.inputs]
@@ -314,6 +532,30 @@ class SlotBatcher:
             })
         return per_request
 
+    # ---------------------------------------------------------------- levels
+    def layout(self, requests) -> BatchLayout | None:
+        """The :class:`BatchLayout` this batch needs, or None for the plain
+        uniform case (no rotations, every request at the program's level).
+
+        Returning None keeps the default run path byte-for-byte what it
+        was before cross-level/rotation batching existed.
+        """
+        requests = [_coerce(r) for r in requests]
+        base = self.level_plan["base_level"]
+        levels = []
+        for req in requests:
+            if req.level is not None:
+                check_request_level(self.level_plan, req.level)
+            levels.append(base if req.level is None else req.level)
+        masked = bool(self.rotation_steps) and self.scheme == "ckks"
+        if not masked and all(level == base for level in levels):
+            return None
+        return BatchLayout(
+            scheme=self.scheme, width=self.width, stride=self.stride,
+            count=len(requests), base_level=base, levels=tuple(levels),
+            masked_rotations=masked,
+        )
+
     # ------------------------------------------------------------------- run
     def run(self, requests, backend="functional", *, seed: int | None = None,
             **run_kw):
@@ -325,6 +567,9 @@ class SlotBatcher:
         """
         requests = list(requests)
         inputs, plains = self.pack(requests)
+        layout = self.layout(requests)
+        if layout is not None:
+            run_kw = {**run_kw, "batch_layout": layout}
         result = resolve_backend(backend).run(
             self.program, inputs=inputs, plains=plains, seed=seed, **run_kw
         )

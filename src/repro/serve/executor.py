@@ -50,7 +50,7 @@ from repro.backends import (
     RunResult,
 )
 from repro.dsl.program import Program
-from repro.serve.batcher import Request, SlotBatcher
+from repro.serve.batcher import Request, SlotBatcher, solo_layout
 from repro.serve.registry import CompiledEntry, ContextEntry
 
 
@@ -98,14 +98,21 @@ def _run_singly(program: Program, requests: list[Request], backend,
     """Fallback for unbatchable programs: one backend run per request.
 
     Each request's own ``seed`` is threaded through, so seeded runs stay
-    deterministic wherever (and in whichever process) they execute.
+    deterministic wherever (and in whichever process) they execute.  A
+    request that arrived below the program's input level gets a
+    one-request :func:`~repro.serve.batcher.solo_layout`, so its whole
+    run executes that many limbs lower — the same lowering a real batch
+    would apply.
     """
     outputs = []
     result: RunResult | None = None
     for req in requests:
+        kw = run_kw
+        if req.level is not None:
+            kw = {**run_kw, "batch_layout": solo_layout(program, req.level)}
         result = backend.run(
             program, inputs=req.inputs or None, plains=req.plains or None,
-            seed=req.seed, **run_kw,
+            seed=req.seed, **kw,
         )
         outputs.append(result.outputs)
     return outputs, result
@@ -260,12 +267,12 @@ def _worker_main(conn) -> None:
                 if msg["mode"] == "batched":
                     result = backend.run(
                         program, inputs=msg["inputs"], plains=msg["plains"],
-                        context=ctx,
+                        context=ctx, batch_layout=msg.get("layout"),
                     )
                     conn.send({"ok": True, "result": result})
                 else:
-                    requests = [Request(inputs=i, plains=p, seed=s)
-                                for i, p, s in msg["requests"]]
+                    requests = [Request(inputs=i, plains=p, seed=s, level=lv)
+                                for i, p, s, lv in msg["requests"]]
                     outputs, result = _run_singly(
                         program, requests, backend, context=ctx
                     )
@@ -477,11 +484,15 @@ class ProcessExecutor:
                 key = self._ensure_replicated(replica, job, key, backend_key)
                 if job.batcher is not None:
                     inputs, plains = job.batcher.pack(job.requests)
+                    # The layout (levels, rotation masking) is computed
+                    # parent-side with the packing and travels with the
+                    # run message — it is a small frozen dataclass.
                     reply = replica.call({
                         "op": "run", "mode": "batched", "key": key,
                         "program_key": job.signature,
                         "backend_key": backend_key,
                         "inputs": inputs, "plains": plains,
+                        "layout": job.batcher.layout(job.requests),
                     })
                     result = reply["result"]
                     return (job.batcher.unpack(result.outputs,
@@ -490,7 +501,7 @@ class ProcessExecutor:
                     "op": "run", "mode": "singly", "key": key,
                     "program_key": job.signature,
                     "backend_key": backend_key,
-                    "requests": [(r.inputs, r.plains, r.seed)
+                    "requests": [(r.inputs, r.plains, r.seed, r.level)
                                  for r in job.requests],
                 })
                 return reply["outputs"], reply["result"]

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 
 from repro.backends import params_for_program
 from repro.compiler.pipeline import CompiledProgram, compile_program
+from repro.serve.batcher import level_alignment_plan
 from repro.core.config import F1Config
 from repro.dsl.program import Program
 from repro.fhe.bgv import BgvContext
@@ -69,6 +70,9 @@ class ContextEntry:
     params: FheParams
     context: FheContext
     hits: int = 0
+    # Lazily cached cross-level batching envelope for this (signature,
+    # params) pair; see ProgramRegistry.level_plan_for.
+    level_plan: dict | None = None
 
 
 @dataclass
@@ -152,6 +156,24 @@ class ProgramRegistry:
                 self._contexts[key] = entry
                 self._misses += 1
             return entry, False
+
+    def level_plan_for(self, program: Program, entry: ContextEntry) -> dict:
+        """The level-alignment plan for this (signature, params) entry.
+
+        Computed once per entry and cached on it, so admission-time level
+        validation for repeat traffic is a dict lookup, not a graph walk.
+        The plan also records how many limbs the entry's params actually
+        provide, which bounds how deep an arrival the context can serve.
+        """
+        plan = entry.level_plan
+        if plan is None:
+            plan = dict(level_alignment_plan(program))
+            plan["params_level"] = entry.params.level
+            with self._guard:
+                if entry.level_plan is None:
+                    entry.level_plan = plan
+                plan = entry.level_plan
+        return plan
 
     # ----------------------------------------------------------- accelerator
     def compiled_for(self, program: Program, config: F1Config | None = None,

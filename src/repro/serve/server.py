@@ -9,12 +9,17 @@ the PR 2 backend API plus the registry/batcher/executor of this package:
    without limit.
 2. Requests are bucketed by ``Program.signature()``.  A bucket flushes
    when it reaches the batch capacity (``max_batch`` clamped to the slot
-   layout's), when its oldest request has waited ``max_wait_ms``, or when
-   a request's ``deadline_ms`` is about to lapse — buckets flush
+   layout's), when its oldest request's adaptive flush bound lapses (a
+   per-signature :class:`_FlushController` predicts fill time from the
+   measured arrival rate and shortens the wait accordingly —
+   ``max_wait_ms`` stays the hard ceiling), or when a request's
+   ``deadline_ms`` is about to lapse — buckets flush
    earliest-deadline-first, and within a bucket the most urgent
    (earliest deadline, then highest priority) requests claim the batch
    slots.  A request whose deadline has already passed fails fast with
-   ``status="expired"`` instead of occupying a batch slot.
+   ``status="expired"`` instead of occupying a batch slot.  Requests at
+   different arrival depths (``submit(level=)``) share a bucket: the
+   pack mod-switches everything to the deepest arrival's waterline.
 3. Worker threads hand flushed batches to the server's
    :class:`~repro.serve.executor.Executor`: compile/keygen artifacts come
    from the shared :class:`~repro.serve.registry.ProgramRegistry` (so only
@@ -26,9 +31,11 @@ the PR 2 backend API plus the registry/batcher/executor of this package:
    under a per-context lock; a
    :class:`~repro.serve.executor.ProcessExecutor` shards them across
    worker-process context replicas with no cross-request lock at all.
-4. Programs a batcher cannot pack (rotations, BGV ct x ct MUL) still
-   serve correctly in batches of one — batching is an optimization, never
-   a semantic restriction.
+4. Programs a batcher cannot pack (BGV rotations/ct x ct MUL, CKKS
+   negative-step rotations) still serve correctly in batches of one —
+   batching is an optimization, never a semantic restriction.  CKKS
+   programs with non-negative rotations *do* batch (rotate-then-mask over
+   the packed ciphertext, hoisted through ``rotate_many``).
 
 Every result carries latency, queue time, batch size/occupancy, and
 whether setup artifacts were cache hits; :meth:`FheServer.stats`
@@ -56,7 +63,13 @@ from repro.backends import (
     validate_run_args,
 )
 from repro.dsl.program import Program
-from repro.serve.batcher import BatchUnsupported, Request, SlotBatcher
+from repro.serve.batcher import (
+    BatchUnsupported,
+    Request,
+    SlotBatcher,
+    check_request_level,
+    level_alignment_plan,
+)
 from repro.serve.executor import (
     BatchJob,
     Executor,
@@ -118,11 +131,71 @@ class _Pending:
         return (effective, -self.priority, self.enqueued)
 
 
+class _FlushController:
+    """Per-signature adaptive flush policy, driven by the group's own
+    arrival/occupancy telemetry.
+
+    The static policy ("wait ``max_wait_ms``, hoping the bucket fills")
+    is right only when the arrival rate is unknown.  Once this signature
+    has traffic history, the controller predicts how long filling the
+    *remaining* capacity will actually take (mean recent inter-arrival
+    gap x remaining slots x a 25% safety margin) and bounds the wait by
+    that — so slow traffic stops paying the full window for occupancy
+    that was never coming, and bursty traffic keeps batching up to
+    capacity via the size trigger as before.
+
+    The controller only ever *shortens* the wait: ``max_wait_ms``
+    remains the documented ceiling (every existing timing contract
+    holds), and a floor of ``max_wait/8`` keeps a noisy gap estimate
+    from degenerating into flush-per-request.  Groups with capacity 1
+    (unbatchable programs) always use the floor — waiting cannot improve
+    their occupancy.
+    """
+
+    WINDOW = 64          # arrival timestamps / occupancy samples retained
+    FLOOR_FRACTION = 1 / 8
+    SAFETY = 1.25
+
+    def __init__(self, base_wait_s: float, capacity: int):
+        self.base_wait_s = base_wait_s
+        self.capacity = capacity
+        self.arrivals: deque[float] = deque(maxlen=self.WINDOW)
+        self.occupancies: deque[float] = deque(maxlen=self.WINDOW)
+
+    def observe_submit(self, now: float, pending_count: int) -> float:
+        """Record one arrival; returns this request's flush wait (s)."""
+        self.arrivals.append(now)
+        return self.effective_wait_s(pending_count)
+
+    def observe_batch(self, occupancy: float) -> None:
+        self.occupancies.append(occupancy)
+
+    def interarrival_s(self) -> float | None:
+        """Mean gap between recent submits, or None with no history."""
+        if len(self.arrivals) < 2:
+            return None
+        span = self.arrivals[-1] - self.arrivals[0]
+        return span / (len(self.arrivals) - 1)
+
+    def effective_wait_s(self, pending_count: int = 0) -> float:
+        base = self.base_wait_s
+        floor = base * self.FLOOR_FRACTION
+        if self.capacity <= 1:
+            return floor
+        gap = self.interarrival_s()
+        if gap is None:
+            return base    # cold start: no rate estimate, honor the window
+        remaining = max(self.capacity - pending_count, 0)
+        predicted = remaining * gap * self.SAFETY
+        return min(base, max(floor, predicted))
+
+
 class _Group:
-    """All state for one program signature: batcher, bucket, registry entry."""
+    """All state for one program signature: batcher, bucket, registry
+    entry, flush controller, and per-signature telemetry windows."""
 
     def __init__(self, program: Program, signature: str, width: int,
-                 max_batch: int | None):
+                 max_batch: int | None, max_wait_s: float = 0.01):
         self.program = program
         self.signature = signature
         self.width = width
@@ -139,20 +212,35 @@ class _Group:
         #: whenever the bucket empties, so weights may change between
         #: batches but never diverge within one.
         self.shared_plains: dict[int, np.ndarray] | None = None
+        #: cross-level admission envelope, computed once per group (the
+        #: batcher already has one; unbatchable programs get their own)
+        self.level_plan = (self.batcher.level_plan if self.batcher is not None
+                          else level_alignment_plan(program))
         self.lock = threading.Lock()
+        self.controller = _FlushController(max_wait_s, self.capacity)
+        # Per-signature telemetry (guarded by the server's telemetry lock):
+        # bounded windows like the global ones, plus an exact batch-size
+        # histogram — the dashboards' and the controller's raw material.
+        self.latencies_ms: deque[float] = deque(maxlen=TELEMETRY_WINDOW // 4)
+        self.queue_ms: deque[float] = deque(maxlen=TELEMETRY_WINDOW // 4)
+        self.occupancies: deque[float] = deque(maxlen=TELEMETRY_WINDOW // 4)
+        self.batch_sizes: dict[int, int] = {}
+        self.completed = 0
+        self.batches = 0
 
-    def due_time(self, max_wait_s: float, deadline_slack_s: float) -> float:
+    def due_time(self, deadline_slack_s: float) -> float:
         """When this bucket must flush (caller holds ``lock``).
 
-        Each pending request is due at ``enqueued + max_wait`` (the
-        documented batching window, honored exactly) or slightly *before*
-        its deadline (``deadline_slack_s`` early, so a deadline-driven
-        batch can still execute inside its budget), whichever comes
-        first; the bucket is due with its most urgent request — the
-        flusher visits buckets earliest-deadline-first.
+        Each pending request is due at its ``flush_by`` bound (assigned
+        at submit by the adaptive controller, never later than
+        ``enqueued + max_wait``) or slightly *before* its deadline
+        (``deadline_slack_s`` early, so a deadline-driven batch can
+        still execute inside its budget), whichever comes first; the
+        bucket is due with its most urgent request — the flusher visits
+        buckets earliest-deadline-first.
         """
         return min(
-            (min(p.enqueued + max_wait_s,
+            (min(p.flush_by,
                  p.deadline - deadline_slack_s if p.deadline is not None
                  else math.inf)
              for p in self.pending),
@@ -265,7 +353,7 @@ class FheServer:
     def submit(self, program: Program, inputs=None, plains=None, *,
                width: int | None = None, priority: int = 0,
                deadline_ms: float | None = None,
-               seed: int | None = None) -> Future:
+               seed: int | None = None, level: int | None = None) -> Future:
         """Enqueue one request; returns a Future[RequestResult].
 
         ``width`` fixes the per-request vector length for this program's
@@ -281,6 +369,13 @@ class FheServer:
         a batch slot.  ``seed`` pins per-request randomness for requests
         served singly (it rides the request through any executor).
 
+        ``level`` is the request's arrival depth (RNS limbs its inputs
+        carry); ``None`` means the program's declared input level.
+        Same-signature requests at different levels share one batch: the
+        pack mod-switches every request down to the deepest arrival's
+        waterline first.  The level must sit inside the program's
+        batchable range (validated here, synchronously).
+
         Admission is strict for batchable programs: vectors must fit the
         group's layout and (on value-executing backends) every INPUT op
         needs a value — rejected here, synchronously, so one malformed
@@ -292,7 +387,7 @@ class FheServer:
         if deadline_ms is not None and deadline_ms <= 0:
             raise ValueError("deadline_ms must be positive")
         request = Request(inputs=dict(inputs or {}), plains=dict(plains or {}),
-                          seed=seed)
+                          seed=seed, level=level)
         validate_run_args(program, request.inputs or None,
                           request.plains or None)
         group = self._group_for(program, request, width)
@@ -302,6 +397,10 @@ class FheServer:
                 request, require_inputs=self._executes_values()
             )
             shared = group.batcher.shared_plain_values(request)
+        elif level is not None:
+            # Unbatchable programs still honor arrival levels — served
+            # solo with the same graph lowering a batch would apply.
+            check_request_level(group.level_plan, level)
         future: Future = Future()
         self._admission.acquire()
         now = time.perf_counter()
@@ -320,11 +419,14 @@ class FheServer:
                         group.shared_plains = shared
                     else:
                         self._check_shared(group, shared)
+                wait_s = group.controller.observe_submit(
+                    now, len(group.pending)
+                )
                 group.pending.append(_Pending(
                     request, future, now, priority=priority,
                     deadline=(now + deadline_ms / 1e3
                               if deadline_ms is not None else None),
-                    flush_by=now + self.max_wait_ms / 1e3,
+                    flush_by=now + wait_s,
                 ))
                 if len(group.pending) >= group.capacity:
                     ready = group.take_batch()
@@ -344,11 +446,12 @@ class FheServer:
     def request(self, program: Program, inputs=None, plains=None, *,
                 width: int | None = None, priority: int = 0,
                 deadline_ms: float | None = None,
-                seed: int | None = None) -> RequestResult:
+                seed: int | None = None,
+                level: int | None = None) -> RequestResult:
         """Synchronous convenience: submit and wait."""
         return self.submit(program, inputs, plains, width=width,
                            priority=priority, deadline_ms=deadline_ms,
-                           seed=seed).result()
+                           seed=seed, level=level).result()
 
     def flush(self) -> None:
         """Dispatch every pending bucket now, regardless of age or size."""
@@ -417,7 +520,8 @@ class FheServer:
                     lengths = [np.asarray(v).shape[0]
                                for v in request.inputs.values()]
                     width = max(lengths, default=program_width(program))
-                group = _Group(program, signature, width, self.max_batch)
+                group = _Group(program, signature, width, self.max_batch,
+                               max_wait_s=self.max_wait_ms / 1e3)
                 self._groups[signature] = group
             return group
 
@@ -455,7 +559,7 @@ class FheServer:
                     # scan interval itself, the second is real execution
                     # margin — without it a serviceable request could be
                     # discovered exactly at its deadline and expire idle.
-                    when = group.due_time(self.max_wait_ms / 1e3, 2 * tick)
+                    when = group.due_time(2 * tick)
                 if when <= now:
                     due.append((when, group))
             for _, group in sorted(due, key=lambda pair: pair[0]):
@@ -508,6 +612,10 @@ class FheServer:
                 seed=self.seed, ks_variant=self.backend.ks_variant,
                 params=self.backend.params,
             )
+            # Cache the cross-level plan on the entry so every later
+            # consumer of this (signature, params) pair — including other
+            # servers sharing the registry — skips the graph walk.
+            self.registry.level_plan_for(program, job.context_entry)
         elif isinstance(self.backend, F1Backend):
             job.compiled_entry, hit = self.registry.compiled_for(
                 program, self.backend.config,
@@ -574,18 +682,35 @@ class FheServer:
                 signature=group.signature,
                 stats={"time_kind": result.stats.get("time_kind")},
             ))
+        group.controller.observe_batch(occupancy)
         with self._telemetry_lock:
             self._batches += 1
             self._completed += k
             self._occupancies.append(occupancy)
             self._last_done = done
+            group.batches += 1
+            group.completed += k
+            group.occupancies.append(occupancy)
+            group.batch_sizes[k] = group.batch_sizes.get(k, 0) + 1
             for pending in live_batch:
-                self._latencies_ms.append((done - pending.enqueued) * 1e3)
-                self._queue_ms.append((started - pending.enqueued) * 1e3)
+                latency = (done - pending.enqueued) * 1e3
+                queued = (started - pending.enqueued) * 1e3
+                self._latencies_ms.append(latency)
+                self._queue_ms.append(queued)
+                group.latencies_ms.append(latency)
+                group.queue_ms.append(queued)
 
     # -------------------------------------------------------------- telemetry
     def stats(self) -> dict:
-        """Aggregate serving telemetry since construction."""
+        """Aggregate serving telemetry since construction.
+
+        ``per_signature`` breaks the same occupancy/latency/queue numbers
+        down by program signature, each with an exact batch-size
+        histogram and the flush controller's current effective wait —
+        the adaptive controller's inputs, exposed for dashboards.
+        """
+        with self._groups_lock:
+            groups = list(self._groups.values())
         with self._telemetry_lock:
             latencies = np.asarray(self._latencies_ms)
             queue = np.asarray(self._queue_ms)
@@ -603,6 +728,25 @@ class FheServer:
                                    if self._occupancies else 0.0),
                 "latency_ms": _percentiles(latencies),
                 "queue_ms": _percentiles(queue),
+                "per_signature": {
+                    g.signature: {
+                        "program": g.program.name,
+                        "requests": g.completed,
+                        "batches": g.batches,
+                        "capacity": g.capacity,
+                        "batchable": g.batcher is not None,
+                        "mean_occupancy": (float(np.mean(g.occupancies))
+                                           if g.occupancies else 0.0),
+                        "latency_ms": _percentiles(np.asarray(g.latencies_ms)),
+                        "queue_ms": _percentiles(np.asarray(g.queue_ms)),
+                        "batch_size_histogram": dict(sorted(
+                            g.batch_sizes.items()
+                        )),
+                        "effective_wait_ms":
+                            g.controller.effective_wait_s() * 1e3,
+                    }
+                    for g in groups if g.completed
+                },
             }
         out["registry"] = self.registry.stats()
         out["executor"] = self.executor.stats()

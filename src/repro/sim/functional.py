@@ -81,12 +81,23 @@ class FunctionalSimulator:
             self.ctx = BgvContext(params, seed=seed, ks_variant=ks_variant or 1)
         self.executed_counts: dict[str, int] = {}
         self.hints_used: set[str] = set()
+        self._mask_cache: dict[tuple[int, int], np.ndarray] = {}
 
-    def run(self, inputs: dict[int, np.ndarray], plains: dict[int, np.ndarray] | None = None) -> dict[int, np.ndarray]:
+    def run(self, inputs: dict[int, np.ndarray], plains: dict[int, np.ndarray] | None = None,
+            *, batch_layout=None) -> dict[int, np.ndarray]:
         """Execute; returns decrypted outputs keyed by OUTPUT op id.
 
         ``inputs`` maps INPUT op ids to value vectors; ``plains`` maps
         INPUT_PLAIN op ids to unencrypted vectors.
+
+        ``batch_layout`` (a :class:`repro.serve.batcher.BatchLayout`, duck
+        typed here to avoid a layering cycle) activates the slot-batching
+        extensions: INPUT encryption honors per-request arrival levels
+        (cohorts encrypted at their own level, mod-switched to the batch
+        waterline, then summed — blocks are disjoint so addition merges
+        them exactly), and when ``masked_rotations`` is set every ROTATE
+        is followed by the 0/1 block-edge mask that makes the global slot
+        rotation equal k per-request rotations.
         """
         plains = plains or {}
         ctx = self.ctx
@@ -113,7 +124,9 @@ class FunctionalSimulator:
             if kind is OpKind.INPUT:
                 if op.op_id not in inputs:
                     raise KeyError(f"missing value for input op {op.op_id}")
-                env[op.op_id] = ctx.encrypt_values(inputs[op.op_id], level=op.level)
+                env[op.op_id] = self._encrypt_input(
+                    op, inputs[op.op_id], batch_layout
+                )
             elif kind is OpKind.INPUT_PLAIN:
                 plain_env[op.op_id] = np.asarray(
                     plains.get(op.op_id, np.ones(1))
@@ -144,6 +157,11 @@ class FunctionalSimulator:
                     env[op.op_id] = pending_rotations.pop(op.op_id)
                 else:
                     env[op.op_id] = ctx.rotate(env[op.args[0]], op.rotate_steps)
+                if batch_layout is not None and batch_layout.masked_rotations:
+                    env[op.op_id] = ctx.mul_mask(
+                        env[op.op_id],
+                        self._rotation_mask(op.rotate_steps, batch_layout),
+                    )
             elif kind is OpKind.MOD_SWITCH:
                 env[op.op_id] = self._level_drop(env[op.args[0]])
             elif kind is OpKind.OUTPUT:
@@ -153,6 +171,71 @@ class FunctionalSimulator:
             else:
                 raise ValueError(f"unhandled op kind {kind}")
         return outputs
+
+    # --------------------------------------------- slot-batching extensions
+    def _encrypt_input(self, op, values, layout) -> Ciphertext:
+        """Encrypt one INPUT, honoring per-request arrival levels.
+
+        A request arriving ``delta`` limbs deep shifts its whole execution
+        down by ``delta``: its inputs are encrypted at ``op.level - delta``
+        (modulus switching preserves the plaintext in both schemes, so the
+        shifted graph computes the same function).  Mixed deltas split the
+        packed vector into per-delta cohorts (zeroing the other requests'
+        stride blocks), encrypt each cohort at its own level, mod-switch
+        everything to the deepest cohort's waterline, and merge with
+        homomorphic addition — the blocks are disjoint, so the sum is the
+        packed ciphertext a uniform batch would have produced.
+        """
+        if layout is None:
+            return self.ctx.encrypt_values(values, level=op.level)
+        deltas = [layout.base_level - lvl for lvl in layout.levels]
+        if not any(deltas):
+            return self.ctx.encrypt_values(values, level=op.level)
+        d_max = max(deltas)
+        target = op.level - d_max
+        if target < 1:
+            raise ValueError(
+                f"cross-level batch would drop input op {op.op_id} to "
+                f"{target} limbs; request levels exceed this program's range"
+            )
+        if len(set(deltas)) == 1:
+            return self.ctx.encrypt_values(values, level=target)
+        values = np.asarray(values)
+        cohorts: dict[int, list[int]] = {}
+        for j, delta in enumerate(deltas):
+            cohorts.setdefault(delta, []).append(j)
+        combined = None
+        for delta, members in sorted(cohorts.items()):
+            vec = np.zeros_like(values)
+            for j in members:
+                lo = j * layout.stride
+                vec[lo:lo + layout.stride] = values[lo:lo + layout.stride]
+            ct = self.ctx.encrypt_values(vec, level=op.level - delta)
+            ct = self.ctx.mod_switch_to(ct, target)
+            combined = (ct if combined is None
+                        else self.ctx.add(*self._matched_scales(combined, ct)))
+        return combined
+
+    def _rotation_mask(self, steps: int, layout) -> np.ndarray:
+        """The 0/1 mask that confines a global slot rotation to its blocks.
+
+        After rotating the packed vector left by ``steps``, lane ``g``
+        holds what was at ``g + steps``; it belongs to the same request iff
+        the source stayed inside g's stride block and inside the ring.
+        Those are exactly the lanes a solo run would populate (the rest
+        were its zero padding), so masking reproduces solo semantics.
+        """
+        key = (steps, layout.stride)
+        mask = self._mask_cache.get(key)
+        if mask is None:
+            lanes = self.params.n // 2
+            lane = np.arange(lanes)
+            src = lane + steps
+            keep = (((lane % layout.stride) + steps < layout.stride)
+                    & (src >= 0) & (src < lanes))
+            mask = keep.astype(np.float64)
+            self._mask_cache[key] = mask
+        return mask
 
     # --------------------------------------------------- scale alignment
     def _level_drop(self, ct: Ciphertext) -> Ciphertext:
@@ -194,6 +277,18 @@ class FunctionalSimulator:
         small, big = (ct1, ct0) if swapped else (ct0, ct1)
         ones = np.ones(self.params.n // 2)
         ratio = big.scale / small.scale
+        log_ratio = math.log2(ratio)
+        if log_ratio == round(log_ratio) >= 1:
+            # Exact power-of-two ratio (the common case once rotation
+            # masks are in play — mul_mask uses an exact 2^k scale):
+            # all-ones encoded at an integer power of two is an exact
+            # constant polynomial, so the small side's fixup is
+            # error-free with no amplification.  Taking this path keeps
+            # the result scale as low as possible, which matters at
+            # shallow levels where the amplified path below would push
+            # the phase past q/2.
+            small = self.ctx.mul_plain(small, ones, scale=ratio)
+            return (big, small) if swapped else (small, big)
         # Encoding all-ones at scale `ratio` rounds the constant coefficient
         # to round(ratio): accurate only when ratio is large.  For small
         # ratios, amplify *both* sides by an exact power of two so the

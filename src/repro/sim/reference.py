@@ -31,6 +31,7 @@ def evaluate_reference(
     plains: dict[int, np.ndarray] | None = None,
     *,
     plaintext_modulus: int = 256,
+    batch_layout=None,
 ) -> dict[int, np.ndarray]:
     """Interpret the op graph on plaintext vectors; outputs keyed by OUTPUT op id.
 
@@ -38,10 +39,18 @@ def evaluate_reference(
     INPUT_PLAIN op ids to unencrypted vectors (defaulting to ``[1]``, as the
     functional interpreter does).  ``plaintext_modulus`` is the BGV ``t``;
     it is ignored for CKKS programs.
+
+    ``batch_layout`` (a :class:`repro.serve.batcher.BatchLayout`, duck
+    typed) activates slot-batching semantics: when ``masked_rotations`` is
+    set every CKKS ROTATE is the *masked* rotation (roll, then zero the
+    lanes whose source crossed a stride-block edge) the batched
+    homomorphic path executes.  This keeps functional-vs-reference
+    validation meaningful on batched runs.  Level information is ignored
+    here — modulus switching never changes plaintext semantics.
     """
     plains = plains or {}
     if program.scheme == "ckks":
-        return _evaluate_ckks(program, inputs, plains)
+        return _evaluate_ckks(program, inputs, plains, batch_layout)
     return _evaluate_bgv(program, inputs, plains, plaintext_modulus)
 
 
@@ -90,8 +99,17 @@ def _evaluate_bgv(program, inputs, plains, t: int) -> dict[int, np.ndarray]:
     return out
 
 
-def _evaluate_ckks(program, inputs, plains) -> dict[int, np.ndarray]:
+def _rotation_mask(steps: int, stride: int, slots: int) -> np.ndarray:
+    """Lanes that keep their value after a batched (masked) rotation:
+    source lane stayed inside the same stride block and inside the ring."""
+    lane = np.arange(slots)
+    src = lane + steps
+    return (((lane % stride) + steps < stride) & (src >= 0) & (src < slots))
+
+
+def _evaluate_ckks(program, inputs, plains, layout=None) -> dict[int, np.ndarray]:
     slots = program.n // 2
+    masked = layout is not None and layout.masked_rotations
     env: dict[int, np.ndarray] = {}
     out: dict[int, np.ndarray] = {}
     for op in program.ops:
@@ -109,7 +127,13 @@ def _evaluate_ckks(program, inputs, plains) -> dict[int, np.ndarray]:
         elif k is OpKind.ADD_PLAIN:
             env[op.op_id] = env[op.args[0]] + env[op.args[1]]
         elif k is OpKind.ROTATE:
-            env[op.op_id] = np.roll(env[op.args[0]], -op.rotate_steps)
+            rolled = np.roll(env[op.args[0]], -op.rotate_steps)
+            if masked:
+                rolled = np.where(
+                    _rotation_mask(op.rotate_steps, layout.stride, slots),
+                    rolled, 0,
+                )
+            env[op.op_id] = rolled
         elif k is OpKind.MOD_SWITCH:
             env[op.op_id] = env[op.args[0]]
         elif k is OpKind.OUTPUT:

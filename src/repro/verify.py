@@ -96,11 +96,16 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     print("\n=== verification summary ===")
-    failed = False
+    failed_gates = []
     for title, ok, elapsed in results:
         print(f"  {'PASS' if ok else 'FAIL'}  {title:16s} ({elapsed:.1f}s)")
-        failed = failed or not ok
-    return 1 if failed else 0
+        if not ok:
+            failed_gates.append(title)
+    if failed_gates:
+        print(f"\nFAILED gates: {', '.join(failed_gates)}")
+        return 1
+    print("\nall gates passed")
+    return 0
 
 
 if __name__ == "__main__":

@@ -20,7 +20,7 @@ import numpy as np
 import pytest
 
 import repro
-from repro.backends import validate_run_args
+from repro.backends import FunctionalBackend, validate_run_args
 from repro.dsl.program import Program
 from repro.serve import (
     STATUS_EXPIRED,
@@ -32,6 +32,7 @@ from repro.serve import (
     SlotBatcher,
     unbatchable_reason,
 )
+from repro.serve.batcher import solo_layout
 
 N = 256
 WIDTH = 8
@@ -244,12 +245,89 @@ class TestSlotBatcher:
         assert batcher.stride == WIDTH
         assert batcher.capacity == (N // 2) // WIDTH
 
-    def test_rotation_is_unbatchable(self):
-        p = Program(n=N, scheme="ckks")
+    def test_bgv_rotation_is_unbatchable(self):
+        p = Program(n=N, scheme="bgv")
         p.output(p.rotate(p.input(2), 1))
         assert "ROTATE" in unbatchable_reason(p)
         with pytest.raises(BatchUnsupported, match="ROTATE"):
             SlotBatcher(p, width=WIDTH)
+
+    def test_ckks_negative_rotation_is_unbatchable(self):
+        p = Program(n=N, scheme="ckks")
+        p.output(p.rotate(p.input(2), -1))
+        assert "negative" in unbatchable_reason(p)
+        with pytest.raises(BatchUnsupported, match="negative"):
+            SlotBatcher(p, width=WIDTH)
+
+    def test_ckks_nonnegative_rotation_is_batchable(self):
+        p = Program(n=N, scheme="ckks")
+        x = p.input(2)
+        p.output(p.add(p.rotate(x, 1), x))
+        assert unbatchable_reason(p) is None
+        batcher = SlotBatcher(p, width=WIDTH)
+        assert batcher.rotation_steps == (1,)
+
+    def test_ring_wrapping_rotation_rejected_at_layout(self):
+        # steps large enough that the last block's rotation wraps to lane 0
+        p = Program(n=N, scheme="ckks")
+        x = p.input(2)
+        p.output(p.add(p.rotate(x, N // 2 - WIDTH // 2), x))
+        assert unbatchable_reason(p) is None  # program-level rule passes
+        with pytest.raises(BatchUnsupported, match="wraps"):
+            SlotBatcher(p, width=WIDTH)
+
+    def test_rotation_batch_matches_solo(self):
+        p = Program(n=N, scheme="ckks", name="windows")
+        x = p.input(3)
+        acc = p.add(x, p.rotate(x, 1))
+        acc = p.add(acc, p.rotate(x, 3))
+        out = p.output(acc)
+        batcher = SlotBatcher(p, width=WIDTH)
+        rng = np.random.default_rng(7)
+        requests = [Request(inputs={x.op_id: rng.uniform(-1, 1, WIDTH)})
+                    for _ in range(4)]
+        backend = FunctionalBackend(validate=True)
+        outs, _ = batcher.run(requests, backend)
+        for j, req in enumerate(requests):
+            solo = backend.run(p, inputs=req.inputs)
+            err = np.max(np.abs(
+                outs[j][out.op_id][:WIDTH] - solo.outputs[out.op_id][:WIDTH]
+            ))
+            assert err < 2e-2, f"request {j} error {err}"
+
+    def test_cross_level_batch_is_bgv_bit_identical(self):
+        program = linear_bgv()
+        batcher = SlotBatcher(program, width=WIDTH)
+        assert batcher.level_plan["base_level"] == 3
+        assert batcher.level_plan["min_level"] == 1
+        requests = bgv_requests(program, 4)
+        for req, level in zip(requests, (3, 2, 2, 3)):
+            req.level = level
+        backend = FunctionalBackend(validate=True)
+        outs, _ = batcher.run(requests, backend)
+        for j, req in enumerate(requests):
+            solo = backend.run(program, inputs=req.inputs, plains=req.plains,
+                               batch_layout=solo_layout(program, req.level))
+            for out_id, got in outs[j].items():
+                want = solo.outputs[out_id][:got.shape[0]]
+                assert np.array_equal(got % 256, want % 256), (j, out_id)
+
+    def test_out_of_range_request_level_rejected(self):
+        program = linear_bgv()
+        batcher = SlotBatcher(program, width=WIDTH)
+        with pytest.raises(ValueError, match="outside"):
+            batcher.check_request(
+                Request(inputs={program.ops[0].op_id: np.ones(WIDTH)}, level=5)
+            )
+
+    def test_uniform_base_level_batch_has_no_layout(self):
+        program = poly_ckks()
+        batcher = SlotBatcher(program, width=WIDTH)
+        requests = ckks_requests(program, 3)
+        assert batcher.layout(requests) is None
+        requests[1].level = batcher.level_plan["base_level"] - 1
+        layout = batcher.layout(requests)
+        assert layout is not None and layout.levels[1] == layout.base_level - 1
 
     def test_bgv_ct_mul_is_unbatchable(self):
         p = Program(n=N, scheme="bgv")
@@ -322,18 +400,38 @@ class TestFheServer:
         assert stats["registry"]["hit_rate"] > 0
 
     def test_unbatchable_program_still_served(self):
+        p = Program(n=N, scheme="bgv", name="multiplier")
+        x, y = p.input(3), p.input(3)
+        p.output(p.mul(x, y))
+        xs = np.arange(1, 9)
+        ys = np.arange(2, 10)
+        with FheServer(max_wait_ms=2.0) as server:
+            result = server.request(p, inputs={x.op_id: xs, y.op_id: ys})
+        from repro.sim.reference import evaluate_reference
+        want = evaluate_reference(p, {x.op_id: xs, y.op_id: ys})
+        out_id = p.ops[-1].op_id
+        got = result.values[out_id]
+        assert np.array_equal(got % 256, want[out_id][:got.shape[0]] % 256)
+        assert result.batch_size == 1 and result.batch_occupancy == 1.0
+
+    def test_batchable_rotation_program_batches_in_server(self):
         p = Program(n=N, scheme="ckks", name="rotator")
         x = p.input(3)
         p.output(p.add(p.rotate(x, 1), x))
-        data = np.arange(8) / 8.0
-        with FheServer(max_wait_ms=2.0) as server:
-            result = server.request(p, inputs={x.op_id: data})
+        rng = np.random.default_rng(5)
+        datas = [rng.uniform(-1, 1, WIDTH) for _ in range(6)]
         slots = N // 2
-        padded = np.zeros(slots)
-        padded[:8] = data
-        want = (np.roll(padded, -1) + padded)[:8]
-        assert np.max(np.abs(result.values[p.ops[-1].op_id][:8] - want)) < 2e-2
-        assert result.batch_size == 1 and result.batch_occupancy == 1.0
+        with FheServer(max_batch=6, max_wait_ms=10.0) as server:
+            futures = [server.submit(p, inputs={x.op_id: d}, width=WIDTH)
+                       for d in datas]
+            results = [f.result(timeout=60) for f in futures]
+        for data, result in zip(datas, results):
+            padded = np.zeros(slots)
+            padded[:WIDTH] = data
+            want = (np.roll(padded, -1) + padded)[:WIDTH]
+            got = next(iter(result.values.values()))[:WIDTH]
+            assert np.max(np.abs(got - want)) < 2e-2
+        assert max(r.batch_size for r in results) > 1
 
     def test_max_wait_flushes_partial_batch(self):
         program = poly_ckks()

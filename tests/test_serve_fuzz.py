@@ -1,0 +1,191 @@
+"""Seeded property fuzz for the serving batcher: batched == solo.
+
+Randomly generated same-signature programs are served two ways — all
+requests packed into one :class:`~repro.serve.batcher.SlotBatcher` batch,
+and each request run alone through the same batcher — and the per-request
+outputs must agree: bit-identical mod t for BGV, within CKKS noise
+tolerance for CKKS.  The generator exercises exactly the envelope the
+serving layer advertises as batchable:
+
+- random request arrival levels anywhere in the program's
+  ``level_alignment_plan`` range (cross-level packing);
+- random non-negative CKKS rotations at random positions in the op graph
+  (rotate-then-mask lowering);
+- random BGV add/sub/plain-op chains (convolution stride growth).
+
+Scale discipline keeps the CKKS comparisons meaningful: inputs sit at
+level 4, at most one ct-ct MUL per program and only while its operands
+still hold level >= 4, so no random composition pushes a phase past the
+modulus.  Base-level requests are additionally cross-checked against a
+plain unbatched ``backend.run`` (no layout at all) to anchor the batcher
+against the pre-batching execution path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import FunctionalBackend, params_for_program
+from repro.dsl.program import Program
+from repro.fhe.bgv import BgvContext
+from repro.fhe.ckks import CkksContext
+from repro.serve.batcher import Request, SlotBatcher, unbatchable_reason
+
+N = 256
+WIDTH = 8
+ITERATIONS = 4
+CKKS_TOL = 2e-2
+
+
+def _level(p: Program, h) -> int:
+    return p.ops[h.op_id].level
+
+
+def random_ckks_program(rng: np.random.Generator, tag: int) -> Program:
+    """A random batchable CKKS program: adds, non-negative rotations,
+    per-request plain ops, and at most one shallow ct-ct multiply."""
+    p = Program(n=N, scheme="ckks", name=f"fuzz_ckks_{tag}")
+    pool = [p.input(4, name="x"), p.input(4, name="y")]
+    mul_used = False
+    for _ in range(int(rng.integers(3, 6))):
+        a = pool[int(rng.integers(len(pool)))]
+        kind = str(rng.choice(["add", "rotate", "mul_plain", "add_plain",
+                               "mul"]))
+        if kind == "mul" and not mul_used:
+            b = pool[int(rng.integers(len(pool)))]
+            if min(_level(p, a), _level(p, b)) >= 4:
+                pool.append(p.mul(a, b))
+                mul_used = True
+                continue
+            kind = "add"
+        if kind in ("add", "mul"):
+            b = pool[int(rng.integers(len(pool)))]
+            pool.append(p.add(a, b))
+        elif kind == "rotate":
+            pool.append(p.rotate(a, int(rng.integers(1, WIDTH))))
+        elif kind == "mul_plain":
+            pool.append(p.mul_plain(a))
+        else:
+            pool.append(p.add_plain(a))
+    p.output(pool[-1])
+    return p
+
+
+def random_bgv_program(rng: np.random.Generator, tag: int) -> Program:
+    """A random batchable BGV program: add/sub chains plus plain ops
+    (each MUL_PLAIN declares its own weight vector, shared batch-wide)."""
+    p = Program(n=N, scheme="bgv", name=f"fuzz_bgv_{tag}")
+    pool = [p.input(3, name="x"), p.input(3, name="y")]
+    for _ in range(int(rng.integers(3, 6))):
+        a = pool[int(rng.integers(len(pool)))]
+        kind = str(rng.choice(["add", "sub", "mul_plain", "add_plain"]))
+        if kind in ("add", "sub"):
+            b = pool[int(rng.integers(len(pool)))]
+            pool.append(p.add(a, b) if kind == "add" else p.sub(a, b))
+        elif kind == "mul_plain":
+            pool.append(p.mul_plain(a))
+        else:
+            pool.append(p.add_plain(a))
+    p.output(pool[-1])
+    return p
+
+
+def _requests(program: Program, batcher: SlotBatcher,
+              rng: np.random.Generator) -> list[Request]:
+    """3-4 requests at random levels across the batchable range."""
+    plan = batcher.level_plan
+    ckks = program.scheme == "ckks"
+    k = int(rng.integers(3, min(batcher.capacity, 4) + 1))
+    input_ids = [op.op_id for op in program.ops if op.kind.name == "INPUT"]
+    plain_ids = [op.op_id for op in program.ops if op.kind.name == "INPUT_PLAIN"]
+    shared = {
+        op_id: (np.round(rng.uniform(-1, 1, WIDTH), 3) if ckks
+                else rng.integers(1, 5, WIDTH))
+        for op_id in plain_ids if op_id in batcher._shared_plains
+    }
+    reqs = []
+    for _ in range(k):
+        level = int(rng.integers(plan["min_level"], plan["base_level"] + 1))
+        inputs = {
+            op_id: (np.round(rng.uniform(-1, 1, WIDTH), 3) if ckks
+                    else rng.integers(0, 50, WIDTH))
+            for op_id in input_ids
+        }
+        plains = {
+            op_id: shared.get(
+                op_id,
+                np.round(rng.uniform(-1, 1, WIDTH), 3) if ckks
+                else rng.integers(0, 9, WIDTH),
+            )
+            for op_id in plain_ids
+        }
+        reqs.append(Request(inputs=inputs, plains=plains, level=level))
+    return reqs
+
+
+class _ContextCache:
+    """One keygenned context per (scheme, params) across fuzz iterations."""
+
+    def __init__(self):
+        self._cache = {}
+
+    def get(self, program: Program):
+        scheme = "ckks" if program.scheme == "ckks" else "bgv"
+        params = params_for_program(program, scheme)
+        key = (scheme, params)
+        if key not in self._cache:
+            ctx = (CkksContext(params, seed=7) if scheme == "ckks"
+                   else BgvContext(params, seed=7))
+            self._cache[key] = ctx
+        return self._cache[key]
+
+
+@pytest.fixture(scope="module")
+def contexts():
+    return _ContextCache()
+
+
+def _check_iteration(program: Program, contexts: _ContextCache,
+                     rng: np.random.Generator) -> None:
+    assert unbatchable_reason(program) is None, program.name
+    batcher = SlotBatcher(program, width=WIDTH)
+    ctx = contexts.get(program)
+    backend = FunctionalBackend(validate=False)
+    reqs = _requests(program, batcher, rng)
+    batched, _ = batcher.run(reqs, backend=backend, context=ctx, seed=3)
+
+    ckks = program.scheme == "ckks"
+    t = None if ckks else ctx.params.plaintext_modulus
+    for j, req in enumerate(reqs):
+        solo, _ = batcher.run([req], backend=backend, context=ctx, seed=3)
+        for out_id, got in batched[j].items():
+            want = solo[0][out_id]
+            if ckks:
+                err = float(np.max(np.abs(got - want)))
+                assert err < CKKS_TOL, (program.name, j, out_id, err)
+            else:
+                assert np.array_equal(got % t, want % t), \
+                    (program.name, j, out_id)
+        # Base-level requests also anchor against the plain unbatched path
+        # (no batcher, no layout) — the execution path serving used before
+        # batching existed.
+        if req.level == batcher.level_plan["base_level"] and not ckks:
+            anchor = backend.run(program, inputs=req.inputs,
+                                 plains=req.plains, seed=3, context=ctx)
+            for out_id, got in batched[j].items():
+                want = np.asarray(anchor.outputs[out_id])[: got.shape[0]]
+                assert np.array_equal(got % t, want % t), \
+                    (program.name, j, out_id, "anchor")
+
+
+def test_fuzz_ckks_batched_matches_solo(contexts):
+    rng = np.random.default_rng(20260807)
+    for i in range(ITERATIONS):
+        _check_iteration(random_ckks_program(rng, i), contexts, rng)
+
+
+def test_fuzz_bgv_batched_matches_solo(contexts):
+    rng = np.random.default_rng(20260808)
+    for i in range(ITERATIONS):
+        _check_iteration(random_bgv_program(rng, i), contexts, rng)
