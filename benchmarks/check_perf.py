@@ -12,8 +12,10 @@ Times a fixed set of hot kernels (all-limb NTT, CRT conversions, base
 extension, Listing-1 key switch, hoisted rotations, the chained modulus
 switch, plus the serving hot paths: slot pack/unpack, registry lookup,
 the context serde round-trip paid when replicating state into a worker
-process, the executor's batch-dispatch overhead, and the level/rotation
-batching paths: a mixed-level BGV batch and a masked CKKS rotation batch)
+process, the executor's batch-dispatch overhead, the level/rotation
+batching paths: a mixed-level BGV batch and a masked CKKS rotation batch,
+and the network tier: the frame codec round-trip and a full remote batch
+dispatch against a live local worker-host subprocess)
 and compares each against the recorded baseline in ``BENCH_engine.json``
 next to this script.  A kernel regresses if it is more than ``--tolerance``
 times slower than baseline (generous by default: baselines travel between
@@ -136,6 +138,32 @@ def _kernels():
     rot_entry, _ = registry.context_for(rot_program, seed=3)
     serve_backend = FunctionalBackend(validate=False)
 
+    # Network tier: the wire codec on a representative EXECUTE payload
+    # (header build + validation + both checksums, both directions), and a
+    # full dispatch round-trip — coordinator-side pickling, framed socket
+    # send, worker-host execution of a small BGV batch, framed reply —
+    # against a live worker subprocess (replication happens in the warmup
+    # call, so the timed region is the steady-state per-batch cost).
+    from repro.net.cluster import LocalCluster
+    from repro.net.framing import MsgType, decode_frame, encode_frame
+
+    frame_payload = pickle.dumps(
+        [(r.inputs, r.plains, r.seed, r.level) for r in serve_requests]
+    )
+    net_program = linear_bgv_program(128)
+    net_batcher = SlotBatcher(net_program, width=4)
+    net_requests = mixed_level_requests(
+        net_program, 4, width=4, levels=(3,), seed=5
+    )
+    net_entry, _ = registry.context_for(net_program, seed=3)
+    net_cluster = LocalCluster(1)          # atexit-reaped with the process
+    net_executor = net_cluster.executor()
+    net_job = BatchJob(
+        program=net_program, signature=net_program.signature(),
+        requests=net_requests, batcher=net_batcher, backend=serve_backend,
+        context_entry=net_entry,
+    )
+
     return {
         "ntt_forward_all_limb": lambda: ctx.forward(limbs),
         "ntt_inverse_all_limb": lambda: ctx.inverse(evals),
@@ -163,6 +191,10 @@ def _kernels():
             rot_requests, backend=serve_backend,
             context=rot_entry.context, seed=3,
         ),
+        "net_frame_roundtrip": lambda: decode_frame(
+            encode_frame(MsgType.EXECUTE, frame_payload)
+        ),
+        "net_dispatch": lambda: net_executor.execute(net_job),
     }
 
 

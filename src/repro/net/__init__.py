@@ -1,0 +1,67 @@
+"""Network tier: multi-host sharded serving over a socket transport.
+
+The F1 paper scales by replicating many independent compute clusters
+behind one dispatch point; PR 5's process executor was that architecture
+on one box.  This package lifts it across machine boundaries — the
+ROADMAP's "multi-host sharded serving" item:
+
+- :mod:`repro.net.framing` — the **wire layer**: length-prefixed binary
+  frames over TCP with a versioned, checksummed header and a small
+  message-type vocabulary (HELLO/REPLICATE/EXECUTE/RESULT/HEARTBEAT/
+  ERROR).  Payloads ride the existing ``to_state()`` pickles; the frame
+  layer rejects oversized/garbage/truncated input *before* any byte is
+  unpickled.
+- :mod:`repro.net.worker` — a **worker host** (``python -m
+  repro.net.worker --port N``): accepts replicated registry entries
+  (keygen happens once, on the coordinator — workers never keygen),
+  executes :class:`~repro.serve.executor.BatchJob` traffic through the
+  PR 5 executor seam, and answers heartbeats.
+- :mod:`repro.net.remote` — :class:`RemoteExecutor`, an
+  :class:`~repro.serve.executor.Executor` fronting a pool of worker
+  hosts: same-signature traffic is sharded by consistent hash of
+  ``(signature, params)`` with least-inflight tie-breaking, and the pool
+  is self-healing (heartbeat-detected dead hosts fail their in-flight
+  batches, are routed around, and re-replicate on reconnect).
+- :mod:`repro.net.cluster` — :class:`LocalCluster`, a harness that
+  spawns N local worker subprocesses so ``FheServer(executor="remote")``
+  and the tests/benchmarks work out of the box.
+"""
+
+from repro.net.framing import (
+    FRAME_VERSION,
+    MAX_FRAME_BYTES,
+    BadChecksum,
+    BadMagic,
+    FrameError,
+    FrameTooLarge,
+    MsgType,
+    PeerClosed,
+    Truncated,
+    decode_frame,
+    encode_frame,
+    recv_msg,
+    send_msg,
+)
+from repro.net.cluster import LocalCluster, cluster_smoke, remote_executor
+from repro.net.remote import RemoteExecutor, shard_key
+
+__all__ = [
+    "BadChecksum",
+    "BadMagic",
+    "FRAME_VERSION",
+    "FrameError",
+    "FrameTooLarge",
+    "LocalCluster",
+    "MAX_FRAME_BYTES",
+    "MsgType",
+    "PeerClosed",
+    "RemoteExecutor",
+    "Truncated",
+    "cluster_smoke",
+    "decode_frame",
+    "encode_frame",
+    "recv_msg",
+    "remote_executor",
+    "send_msg",
+    "shard_key",
+]

@@ -1,0 +1,581 @@
+"""RemoteExecutor: shard flushed batches across remote worker hosts.
+
+This is the PR 5 :class:`~repro.serve.executor.Executor` seam stretched
+over the network — the ROADMAP's intended insertion point.  Where
+:class:`~repro.serve.executor.ProcessExecutor` replicates registry
+entries into forked worker processes over pipes, this executor
+replicates them into :mod:`repro.net.worker` hosts over the framed
+socket transport, with the same invariants:
+
+- **keygen once, converge everywhere** — every host restores its context
+  from the coordinator entry's serialized secret (workers never keygen),
+  and each host's RNG is reseeded with fresh entropy at replication time
+  so no two nodes share an encryption-randomness stream;
+- **pinned replication** — entries and backends are keyed by identity
+  and pinned (a strong reference) until released, so a freed entry's
+  ``id()`` can never be reused and silently resolve to the wrong
+  host-side context;
+- **requests carry their own seeds** — ``repro.run(..., seed=)``
+  determinism holds regardless of which host serves a request.
+
+Routing: same-signature traffic is sharded by **consistent hash** of
+``(signature, params)`` over the host ring (so one signature's hint
+caches warm on a stable primary host and adding/removing a host only
+remaps ``1/hosts`` of the traffic), with **least-inflight
+tie-breaking** along the ring walk — an overloaded primary spills onto
+the next hosts instead of queueing behind itself.
+
+Self-healing: a monitor thread heartbeats every host.  A host that
+misses its heartbeat (or fails a send mid-batch) is marked dead: its
+sockets are shut down so in-flight batches fail immediately with a
+distinct error instead of hanging, new traffic routes around it, and
+the monitor keeps dialing until the host returns — at which point its
+replication sets start empty, so everything it needs re-replicates on
+first use.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import itertools
+import socket
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.backends import FunctionalBackend, RunResult
+from repro.net.framing import (
+    FRAME_VERSION,
+    MAX_FRAME_BYTES,
+    FrameError,
+    MsgType,
+    recv_msg,
+    send_msg,
+)
+from repro.serve.executor import (
+    BatchJob,
+    ThreadExecutor,
+    pick_least_inflight,
+)
+from repro.serve.registry import ContextEntry
+
+#: virtual nodes per host on the consistent-hash ring; enough that the
+#: load split stays near-uniform for small pools.
+VNODES = 64
+
+
+def shard_key(signature: str, params) -> int:
+    """The consistent-hash shard key for one ``(signature, params)`` pair.
+
+    Hashes the structural identity only (signature, scheme-independent
+    parameter fingerprint) — two coordinators serving the same traffic
+    shard it identically.
+    """
+    material = (
+        f"{signature}|{params.n}|{params.plaintext_modulus}|"
+        f"{','.join(map(str, params.basis.moduli))}"
+    )
+    return int.from_bytes(
+        hashlib.sha256(material.encode()).digest()[:8], "big"
+    )
+
+
+def _ring_point(token: str) -> int:
+    return int.from_bytes(hashlib.sha256(token.encode()).digest()[:8], "big")
+
+
+class _Channel:
+    """One command connection to a host; ``lock`` serializes its
+    request/response exchanges (the per-host parallelism unit)."""
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self.lock = threading.Lock()
+
+
+class _Host:
+    """Coordinator-side handle for one worker host."""
+
+    def __init__(self, addr: tuple[str, int], index: int):
+        self.addr = addr
+        self.index = index
+        self.channels: list[_Channel] = []
+        self.hb_sock: socket.socket | None = None
+        self.hb_lock = threading.Lock()
+        self.state_lock = threading.Lock()
+        #: ("ctx"|"prog"|"be", key) -> Event set once replication completed;
+        #: waiters on other channels block until the owner's RESULT lands.
+        self.replicated: dict[tuple, threading.Event] = {}
+        self.dead = True          # comes alive on first successful connect
+        self.inflight = 0
+        self.dispatched = 0
+        self.failed = 0
+        self.reconnects = -1      # first connect is not a *re*connect
+        self.latencies_ms: deque[float] = deque(maxlen=512)
+        self.remote: dict = {}    # last heartbeat reply (pid, load)
+        self._rr = itertools.count()
+
+    def next_channel(self) -> _Channel:
+        channels = self.channels
+        if not channels:
+            raise RuntimeError(f"host {self.addr} has no live connection")
+        return channels[next(self._rr) % len(channels)]
+
+
+def _dial(addr: tuple[str, int], *, timeout: float,
+          max_frame: int) -> socket.socket:
+    """Connect and complete the HELLO handshake; returns a blocking socket."""
+    sock = socket.create_connection(addr, timeout=timeout)
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        send_msg(sock, MsgType.HELLO, {"version": FRAME_VERSION},
+                 max_frame=max_frame)
+        msg_type, reply = recv_msg(sock, max_frame=max_frame)
+        if msg_type is not MsgType.HELLO:
+            raise ConnectionError(
+                f"worker {addr} rejected the handshake: "
+                f"{reply.get('error') if isinstance(reply, dict) else reply}"
+            )
+        sock.settimeout(None)
+        return sock
+    except BaseException:
+        sock.close()
+        raise
+
+
+def _parse_addr(host) -> tuple[str, int]:
+    if isinstance(host, tuple):
+        return (host[0], int(host[1]))
+    name, _, port = str(host).rpartition(":")
+    return (name or "127.0.0.1", int(port))
+
+
+class RemoteExecutor:
+    """Runs functional batches on a pool of remote worker hosts.
+
+    ``hosts`` is a list of ``"host:port"`` strings or ``(host, port)``
+    tuples; ``channels`` command connections are opened per host, so a
+    host can execute that many batches concurrently (pair with worker
+    ``--processes``).  Backends that do not execute encrypted values
+    fall back to an inner :class:`ThreadExecutor`, exactly like the
+    process pool.
+    """
+
+    name = "remote"
+
+    def __init__(self, hosts, *, channels: int = 2,
+                 heartbeat_s: float = 0.25, heartbeat_timeout: float = 2.0,
+                 connect_timeout: float = 10.0,
+                 max_frame: int = MAX_FRAME_BYTES):
+        addrs = [_parse_addr(h) for h in hosts]
+        if not addrs:
+            raise ValueError("at least one worker host is required")
+        self.channels = max(1, channels)
+        self.heartbeat_s = heartbeat_s
+        self.heartbeat_timeout = heartbeat_timeout
+        self.connect_timeout = connect_timeout
+        self.max_frame = max_frame
+        self._fallback = ThreadExecutor()
+        self._guard = threading.Lock()
+        self._ctx_keys: dict[int, tuple[int, ContextEntry]] = {}
+        self._ctx_counter = itertools.count()
+        self._backend_keys: dict[int, tuple[int, object]] = {}
+        self._backend_counter = itertools.count()
+        self._closed = False
+        self._owned_cluster = None   # set by cluster.remote_executor
+        self._hosts = [_Host(addr, i) for i, addr in enumerate(addrs)]
+        ring = []
+        for host in self._hosts:
+            for v in range(VNODES):
+                ring.append((_ring_point(f"{host.addr[0]}:{host.addr[1]}#{v}"),
+                             host.index))
+        ring.sort()
+        self._ring_points = [p for p, _ in ring]
+        self._ring_hosts = [i for _, i in ring]
+        errors = []
+        for host in self._hosts:
+            try:
+                self._connect_host(host)
+            except OSError as exc:
+                errors.append(f"{host.addr}: {exc}")
+        if all(h.dead for h in self._hosts):
+            raise ConnectionError(
+                "could not reach any worker host: " + "; ".join(errors)
+            )
+        self._monitor_stop = threading.Event()
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="remote-executor-monitor",
+            daemon=True,
+        )
+        self._monitor.start()
+
+    # ----------------------------------------------------------- connections
+    def _connect_host(self, host: _Host) -> None:
+        """(Re)establish every connection to one host; resets its
+        replication sets, so state re-replicates on first use."""
+        channels = [
+            _Channel(_dial(host.addr, timeout=self.connect_timeout,
+                           max_frame=self.max_frame))
+            for _ in range(self.channels)
+        ]
+        hb = _dial(host.addr, timeout=self.connect_timeout,
+                   max_frame=self.max_frame)
+        hb.settimeout(self.heartbeat_timeout)
+        with host.state_lock:
+            host.channels = channels
+            host.hb_sock = hb
+            host.replicated = {}
+            host.dead = False
+            host.reconnects += 1
+
+    def _mark_dead(self, host: _Host) -> None:
+        """Route around a host and fail whatever is in flight on it.
+
+        Shutting the sockets down unblocks any thread mid-``recv`` with
+        an immediate error — an unreachable host fails its batches with
+        a distinct error instead of hanging them.
+        """
+        with host.state_lock:
+            if host.dead:
+                return
+            host.dead = True
+            socks = [c.sock for c in host.channels]
+            if host.hb_sock is not None:
+                socks.append(host.hb_sock)
+            host.channels = []
+            host.hb_sock = None
+            host.replicated = {}
+        for sock in socks:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            sock.close()
+
+    def _monitor_loop(self) -> None:
+        while not self._monitor_stop.wait(self.heartbeat_s):
+            for host in self._hosts:
+                if self._monitor_stop.is_set():
+                    return
+                if host.dead:
+                    try:
+                        self._connect_host(host)
+                    except OSError:
+                        continue
+                try:
+                    with host.hb_lock:
+                        sock = host.hb_sock
+                        if sock is None:
+                            continue
+                        send_msg(sock, MsgType.HEARTBEAT, {},
+                                 max_frame=self.max_frame)
+                        msg_type, reply = recv_msg(sock,
+                                                   max_frame=self.max_frame)
+                    if msg_type is MsgType.HEARTBEAT:
+                        host.remote = reply
+                except (OSError, FrameError, ConnectionError):
+                    self._mark_dead(host)
+
+    # -------------------------------------------------------------- routing
+    def _candidates(self, key: int) -> list[tuple[int, _Host]]:
+        """Alive hosts in ring-walk order from ``key``: (rank, host)."""
+        start = bisect.bisect_left(self._ring_points, key)
+        seen: set[int] = set()
+        ordered: list[tuple[int, _Host]] = []
+        n = len(self._ring_hosts)
+        for step in range(n):
+            idx = self._ring_hosts[(start + step) % n]
+            if idx in seen:
+                continue
+            seen.add(idx)
+            host = self._hosts[idx]
+            if not host.dead:
+                ordered.append((len(ordered), host))
+            if len(seen) == len(self._hosts):
+                break
+        return ordered
+
+    def _pick(self, signature: str, entry: ContextEntry) -> tuple[_Host, int]:
+        with self._guard:
+            if self._closed:
+                raise RuntimeError("executor is closed")
+            candidates = self._candidates(shard_key(signature, entry.params))
+            if not candidates:
+                raise RuntimeError(
+                    "no live worker hosts (all heartbeats failed); "
+                    "batches fail rather than hang until a host returns"
+                )
+            rank = {id(host): r for r, host in candidates}
+            host = pick_least_inflight(
+                [host for _, host in candidates],
+                tiebreak=lambda h: rank[id(h)],
+            )
+            host.inflight += 1
+            host.dispatched += 1
+            return host, rank[id(host)]
+
+    def _release_slot(self, host: _Host) -> None:
+        with self._guard:
+            host.inflight -= 1
+
+    # ---------------------------------------------------------- replication
+    def _ctx_key(self, entry: ContextEntry) -> int:
+        with self._guard:
+            known = self._ctx_keys.get(id(entry))
+            if known is None:
+                known = (next(self._ctx_counter), entry)
+                self._ctx_keys[id(entry)] = known
+            return known[0]
+
+    def _backend_key(self, backend) -> int:
+        with self._guard:
+            known = self._backend_keys.get(id(backend))
+            if known is None:
+                known = (next(self._backend_counter), backend)
+                self._backend_keys[id(backend)] = known
+            return known[0]
+
+    def _call(self, host: _Host, channel: _Channel, msg_type: MsgType,
+              message: dict) -> dict:
+        """One request/response exchange (caller holds ``channel.lock``)."""
+        try:
+            send_msg(channel.sock, msg_type, message,
+                     max_frame=self.max_frame)
+            reply_type, reply = recv_msg(channel.sock,
+                                         max_frame=self.max_frame)
+        except (OSError, FrameError, ConnectionError) as exc:
+            self._mark_dead(host)
+            with self._guard:
+                host.failed += 1
+            raise RuntimeError(
+                f"worker host {host.addr[0]}:{host.addr[1]} died mid-call "
+                f"({type(exc).__name__}: {exc}); the batch fails and the "
+                f"host will be redialed"
+            ) from None
+        if reply_type is MsgType.ERROR:
+            if reply.get("fatal"):
+                self._mark_dead(host)
+            raise RuntimeError(
+                f"worker host {host.addr[0]}:{host.addr[1]} failed: "
+                f"{reply.get('error')}\n{reply.get('traceback', '')}"
+            )
+        return reply
+
+    def _ship_once(self, host: _Host, channel: _Channel, tag: str, key,
+                   message: dict) -> None:
+        """Replicate one piece of state to ``host`` exactly once.
+
+        The first channel to need it ships it (holding its own channel
+        lock); concurrent channels wait on the completion event rather
+        than shipping duplicates — and, crucially, rather than sending an
+        EXECUTE that references a key the worker has not seen yet.
+        """
+        with host.state_lock:
+            if host.dead:
+                raise RuntimeError(f"worker host {host.addr} is down")
+            event = host.replicated.get((tag, key))
+            owner = event is None
+            if owner:
+                event = threading.Event()
+                host.replicated[(tag, key)] = event
+        if owner:
+            try:
+                self._call(host, channel, MsgType.REPLICATE, message)
+            except BaseException:
+                with host.state_lock:
+                    if host.replicated.get((tag, key)) is event:
+                        del host.replicated[(tag, key)]
+                event.set()   # wake waiters; they re-check and re-ship
+                raise
+            event.set()
+        elif not event.wait(timeout=60.0):
+            raise RuntimeError(
+                f"timed out waiting for replication to {host.addr}"
+            )
+        elif (tag, key) not in host.replicated:
+            # The owner failed after we started waiting; one retry ships
+            # it ourselves (recursion depth is bounded by the retry).
+            self._ship_once(host, channel, tag, key, message)
+
+    def _ensure_replicated(self, host: _Host, channel: _Channel,
+                           job: BatchJob, key: int, backend_key: int) -> int:
+        entry = job.context_entry
+        with self._guard:
+            # Re-pin under the guard (a concurrent release may have
+            # unpinned the entry between key capture and now), keeping
+            # any newer key — same scheme as ProcessExecutor.
+            known = self._ctx_keys.setdefault(id(entry), (key, entry))
+        key = known[0]
+        self._ship_once(host, channel, "ctx", key, {
+            "kind": "context", "key": key,
+            "state": entry.context.to_state(),
+            "signature": job.signature,
+            # Fresh entropy per (host, entry): no two replicas — here or
+            # in any process pool — share an encryption-randomness stream.
+            "reseed": np.random.SeedSequence().entropy,
+        })
+        batcher = job.batcher
+        self._ship_once(host, channel, "prog", job.signature, {
+            "kind": "program", "key": job.signature, "program": job.program,
+            "width": batcher.width if batcher is not None else 1,
+            "max_batch": batcher.capacity if batcher is not None else 1,
+        })
+        self._ship_once(host, channel, "be", backend_key, {
+            "kind": "backend", "key": backend_key, "backend": job.backend,
+        })
+        return key
+
+    # ---------------------------------------------------------------- public
+    def execute(self, job: BatchJob) -> tuple[list[dict], RunResult]:
+        backend = job.backend
+        if not isinstance(backend, FunctionalBackend) or job.context_entry is None:
+            return self._fallback.execute(job)
+        key = self._ctx_key(job.context_entry)
+        backend_key = self._backend_key(backend)
+        host, _rank = self._pick(job.signature, job.context_entry)
+        start = time.perf_counter()
+        try:
+            channel = host.next_channel()
+            with channel.lock:
+                key = self._ensure_replicated(host, channel, job, key,
+                                              backend_key)
+                reply = self._call(host, channel, MsgType.EXECUTE, {
+                    "ctx": key, "program": job.signature,
+                    "backend": backend_key,
+                    "batched": job.batcher is not None,
+                    "requests": [(r.inputs, r.plains, r.seed, r.level)
+                                 for r in job.requests],
+                })
+            host.latencies_ms.append((time.perf_counter() - start) * 1e3)
+            return reply["outputs"], reply["result"]
+        finally:
+            self._release_slot(host)
+
+    def release(self, entry: ContextEntry) -> None:
+        """Unpin a replicated entry and evict it from every live host.
+
+        Long-lived pools cycling through many ``(signature, params)``
+        combinations should release retired entries, or host-side memory
+        (contexts plus their growing hint caches) accumulates without
+        bound.  Releasing an entry that was never replicated is a no-op;
+        a later batch for it simply replicates again.
+        """
+        with self._guard:
+            known = self._ctx_keys.pop(id(entry), None)
+        if known is None:
+            return
+        self._drop("ctx", known[0], {"kind": "drop_context", "key": known[0]})
+
+    def release_backend(self, backend) -> None:
+        """Unpin a shipped backend and evict it from every live host."""
+        with self._guard:
+            known = self._backend_keys.pop(id(backend), None)
+        if known is None:
+            return
+        self._drop("be", known[0], {"kind": "drop_backend", "key": known[0]})
+
+    def _drop(self, tag: str, key, message: dict) -> None:
+        for host in self._hosts:
+            with host.state_lock:
+                held = not host.dead and (tag, key) in host.replicated
+                if held:
+                    del host.replicated[(tag, key)]
+            if not held:
+                continue
+            try:
+                channel = host.next_channel()
+                with channel.lock:
+                    self._call(host, channel, MsgType.REPLICATE, message)
+            except RuntimeError:
+                pass   # a dead host forgot everything anyway
+
+    def probe(self, entry: ContextEntry) -> list[dict]:
+        """Replicate ``entry`` to every live host and report each host's
+        view (same secret everywhere, distinct pids, RNGs seeded apart)."""
+        key = self._ctx_key(entry)
+        program = _probe_program(entry)
+        job = BatchJob(program=program, signature=program.signature(),
+                       requests=[], batcher=None,
+                       backend=FunctionalBackend(validate=False),
+                       context_entry=entry)
+        out = []
+        for host in self._hosts:
+            if host.dead:
+                continue
+            channel = host.next_channel()
+            with channel.lock:
+                key = self._ensure_replicated(
+                    host, channel, job, key, self._backend_key(job.backend)
+                )
+                out.append(self._call(host, channel, MsgType.REPLICATE,
+                                      {"kind": "probe", "key": key}))
+        return out
+
+    def stats(self) -> dict:
+        """Per-host observability: inflight/dispatched/latency/reconnects.
+
+        Surfaces through ``FheServer.stats()["executor"]`` — the README's
+        telemetry section documents the schema.
+        """
+        with self._guard:
+            hosts = []
+            for host in self._hosts:
+                lat = np.asarray(host.latencies_ms)
+                hosts.append({
+                    "addr": f"{host.addr[0]}:{host.addr[1]}",
+                    "alive": not host.dead,
+                    "inflight": host.inflight,
+                    "dispatched": host.dispatched,
+                    "failed": host.failed,
+                    "reconnects": max(host.reconnects, 0),
+                    "latency_ms": {
+                        "p50": float(np.percentile(lat, 50)) if lat.size else 0.0,
+                        "mean": float(np.mean(lat)) if lat.size else 0.0,
+                    },
+                    "remote": dict(host.remote),
+                })
+            return {
+                "executor": self.name,
+                "hosts": hosts,
+                "dispatched": sum(h.dispatched for h in self._hosts),
+                "reconnects": sum(max(h.reconnects, 0) for h in self._hosts),
+                "fallback": self._fallback.stats(),
+            }
+
+    def close(self) -> None:
+        with self._guard:
+            if self._closed:
+                return
+            self._closed = True
+        self._monitor_stop.set()
+        self._monitor.join(timeout=5)
+        for host in self._hosts:
+            host.dead = False   # force the socket teardown below
+            self._mark_dead(host)
+        with self._guard:
+            self._ctx_keys.clear()
+            self._backend_keys.clear()
+        self._fallback.close()
+        if self._owned_cluster is not None:
+            self._owned_cluster.close()
+            self._owned_cluster = None
+
+    def __enter__(self) -> "RemoteExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _probe_program(entry: ContextEntry):
+    """A minimal program matching the entry's scheme, for probe shipping."""
+    from repro.dsl.program import Program
+
+    program = Program(n=entry.params.n, scheme=entry.scheme,
+                      name="net_probe")
+    x = program.input(1, name="x")
+    program.output(x)
+    return program

@@ -1,0 +1,302 @@
+"""Worker host: one remote execution node of the sharded serving tier.
+
+Run one per machine (or several per machine — each is an independent
+process, the F1 many-independent-clusters shape)::
+
+    PYTHONPATH=src python -m repro.net.worker --port 7100
+    PYTHONPATH=src python -m repro.net.worker --port 0        # pick a port
+
+On startup the worker prints ``repro.net.worker listening on HOST:PORT``
+(the :class:`~repro.net.cluster.LocalCluster` harness reads this line to
+discover auto-assigned ports) and then serves frames forever.
+
+Protocol (see :mod:`repro.net.framing` for the frame format):
+
+- ``HELLO {version}`` — handshake; replies ``HELLO {version, pid}``.
+  Version mismatches are answered with ``ERROR`` and the connection
+  closes, so incompatible peers part cleanly.
+- ``REPLICATE {kind, ...}`` — registry state arriving from the
+  coordinator: ``context`` (a ``to_state()`` dict plus an RNG reseed —
+  **workers never keygen**; every context is restored from the
+  coordinator's serialized secret, and replicas are reseeded apart so no
+  two nodes share an encryption-randomness stream), ``program`` (the
+  :class:`~repro.dsl.program.Program` plus its batcher layout config),
+  ``backend``, the matching ``drop_*`` evictions, and ``probe`` (the
+  replication-invariant diagnostic).  Replies ``RESULT {ok: True}``.
+- ``EXECUTE {ctx, program, backend, batched, requests}`` — one flushed
+  batch, executed through the PR 5 executor seam (an in-process
+  :class:`~repro.serve.executor.ThreadExecutor` by default, or a
+  ``--processes N`` :class:`~repro.serve.executor.ProcessExecutor` for
+  multi-core hosts); replies ``RESULT {outputs, result}``.
+- ``HEARTBEAT`` — replies ``HEARTBEAT {pid, inflight, served}``; the
+  coordinator's monitor uses it for liveness and load telemetry.
+
+Execution failures are answered with ``ERROR {error, traceback}`` and
+the connection stays usable; malformed *frames* are answered with a
+best-effort ``ERROR`` and the connection closes (the stream may be
+desynchronized past a framing violation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import threading
+import traceback
+
+import numpy as np
+
+from repro.net.framing import (
+    FRAME_VERSION,
+    MAX_FRAME_BYTES,
+    FrameError,
+    MsgType,
+    PeerClosed,
+    recv_msg,
+    send_msg,
+)
+from repro.serve.batcher import BatchUnsupported, Request, SlotBatcher
+from repro.serve.executor import BatchJob, ProcessExecutor, ThreadExecutor
+from repro.serve.registry import ContextEntry
+
+
+class WorkerHost:
+    """Shared state and frame handlers for one worker process.
+
+    Replicated state (contexts/programs/backends) is process-wide and
+    shared across connections, exactly like the process-executor worker's
+    dicts; the inner executor provides the execution-safety story
+    (:class:`ThreadExecutor` holds the per-context lock, so concurrent
+    connections hitting the same entry serialize instead of corrupting
+    the shared RNG/hint caches).
+    """
+
+    def __init__(self, *, processes: int = 0,
+                 max_frame: int = MAX_FRAME_BYTES):
+        self.max_frame = max_frame
+        self.executor = (ProcessExecutor(processes) if processes
+                         else ThreadExecutor())
+        self._guard = threading.Lock()
+        self._entries: dict[int, ContextEntry] = {}
+        #: signature -> (program, batcher or None for unbatchable traffic)
+        self._programs: dict[str, tuple] = {}
+        self._backends: dict[int, object] = {}
+        self._inflight = 0
+        self._served = 0
+
+    # ------------------------------------------------------------- handlers
+    def _handle_replicate(self, msg: dict) -> tuple[MsgType, dict]:
+        kind = msg["kind"]
+        if kind == "context":
+            from repro.fhe.context import context_from_state
+
+            ctx = context_from_state(msg["state"])
+            if msg.get("reseed") is not None:
+                # Replicas must not share the coordinator's (or each
+                # other's) randomness stream: identical (a, e) draws
+                # across hosts would leak plaintext differences.  The
+                # secret key — the part that must converge — is untouched.
+                ctx.rng = np.random.default_rng(
+                    np.random.SeedSequence(msg["reseed"])
+                )
+            entry = ContextEntry(
+                signature=msg["signature"], scheme=ctx.scheme,
+                params=ctx.params, context=ctx,
+            )
+            with self._guard:
+                self._entries[msg["key"]] = entry
+        elif kind == "program":
+            program = msg["program"]
+            try:
+                batcher = SlotBatcher(program, width=msg["width"],
+                                      max_batch=msg["max_batch"])
+            except BatchUnsupported:
+                batcher = None
+            with self._guard:
+                self._programs[msg["key"]] = (program, batcher)
+        elif kind == "backend":
+            with self._guard:
+                self._backends[msg["key"]] = msg["backend"]
+        elif kind == "drop_context":
+            with self._guard:
+                entry = self._entries.pop(msg["key"], None)
+            if entry is not None and isinstance(self.executor, ProcessExecutor):
+                self.executor.release(entry)
+        elif kind == "drop_backend":
+            with self._guard:
+                backend = self._backends.pop(msg["key"], None)
+            if backend is not None and isinstance(self.executor, ProcessExecutor):
+                self.executor.release_backend(backend)
+        elif kind == "probe":
+            import hashlib
+
+            with self._guard:
+                entry = self._entries[msg["key"]]
+            return MsgType.RESULT, {
+                "ok": True,
+                "pid": os.getpid(),
+                "secret_sha": hashlib.sha256(
+                    entry.context.secret.coeffs.tobytes()
+                ).hexdigest(),
+                "moduli": entry.params.basis.moduli,
+                # Diagnostic draw (advances this host's stream): lets
+                # tests verify hosts were reseeded apart.
+                "rng_fingerprint": entry.context.rng.integers(
+                    0, 2**63, 4
+                ).tolist(),
+                "replicated": self.state_counts(),
+            }
+        else:
+            raise ValueError(f"unknown REPLICATE kind {kind!r}")
+        return MsgType.RESULT, {"ok": True}
+
+    def _handle_execute(self, msg: dict) -> tuple[MsgType, dict]:
+        with self._guard:
+            entry = self._entries[msg["ctx"]]
+            program, batcher = self._programs[msg["program"]]
+            backend = self._backends[msg["backend"]]
+            self._inflight += 1
+        try:
+            requests = [Request(inputs=i, plains=p, seed=s, level=lv)
+                        for i, p, s, lv in msg["requests"]]
+            job = BatchJob(
+                program=program, signature=msg["program"], requests=requests,
+                batcher=batcher if msg["batched"] else None,
+                backend=backend, context_entry=entry,
+            )
+            outputs, result = self.executor.execute(job)
+            return MsgType.RESULT, {"ok": True, "outputs": outputs,
+                                    "result": result}
+        finally:
+            with self._guard:
+                self._inflight -= 1
+                self._served += 1
+
+    def _handle_one(self, msg_type: MsgType, msg) -> tuple[MsgType, object]:
+        if msg_type is MsgType.HELLO:
+            version = msg.get("version")
+            if version != FRAME_VERSION:
+                return MsgType.ERROR, {
+                    "error": f"protocol version {version} != {FRAME_VERSION}",
+                    "fatal": True,
+                }
+            return MsgType.HELLO, {"version": FRAME_VERSION,
+                                   "pid": os.getpid()}
+        if msg_type is MsgType.HEARTBEAT:
+            with self._guard:
+                return MsgType.HEARTBEAT, {
+                    "pid": os.getpid(),
+                    "inflight": self._inflight,
+                    "served": self._served,
+                }
+        if msg_type is MsgType.REPLICATE:
+            return self._handle_replicate(msg)
+        if msg_type is MsgType.EXECUTE:
+            return self._handle_execute(msg)
+        return MsgType.ERROR, {"error": f"unexpected message type {msg_type!r}"}
+
+    # ----------------------------------------------------------- connection
+    def serve_connection(self, conn: socket.socket) -> None:
+        """One request/response loop; returns when the peer hangs up.
+
+        Execution errors are reported as ``ERROR`` replies and the
+        connection continues; framing violations get a best-effort
+        ``ERROR`` reply and the connection closes, because the byte
+        stream cannot be trusted to resynchronize.
+        """
+        with conn:
+            while True:
+                try:
+                    msg_type, msg = recv_msg(conn, max_frame=self.max_frame)
+                except PeerClosed:
+                    return
+                except FrameError as exc:
+                    try:
+                        send_msg(conn, MsgType.ERROR, {
+                            "error": f"{type(exc).__name__}: {exc}",
+                            "fatal": True,
+                        }, max_frame=self.max_frame)
+                    except OSError:
+                        pass
+                    return
+                except OSError:
+                    return
+                try:
+                    reply_type, reply = self._handle_one(msg_type, msg)
+                except BaseException as exc:  # noqa: BLE001 — shipped back
+                    reply_type, reply = MsgType.ERROR, {
+                        "error": f"{type(exc).__name__}: {exc}",
+                        "traceback": traceback.format_exc(),
+                    }
+                try:
+                    send_msg(conn, reply_type, reply,
+                             max_frame=self.max_frame)
+                except OSError:
+                    return
+                if reply_type is MsgType.ERROR and reply.get("fatal"):
+                    return
+
+    def state_counts(self) -> dict:
+        with self._guard:
+            return {"contexts": len(self._entries),
+                    "programs": len(self._programs),
+                    "backends": len(self._backends)}
+
+    def close(self) -> None:
+        self.executor.close()
+
+
+def serve(host: str = "127.0.0.1", port: int = 0, *, processes: int = 0,
+          max_frame: int = MAX_FRAME_BYTES, ready=None) -> None:
+    """Bind, announce, and serve connections until interrupted.
+
+    ``ready``, if given, is called with the bound ``(host, port)`` once
+    the socket is listening (test hook).
+    """
+    worker = WorkerHost(processes=processes, max_frame=max_frame)
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((host, port))
+    listener.listen(32)
+    bound = listener.getsockname()
+    print(f"repro.net.worker listening on {bound[0]}:{bound[1]}", flush=True)
+    if ready is not None:
+        ready(bound)
+    try:
+        while True:
+            conn, _ = listener.accept()
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            threading.Thread(
+                target=worker.serve_connection, args=(conn,),
+                name="net-worker-conn", daemon=True,
+            ).start()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        listener.close()
+        worker.close()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.net.worker",
+        description=__doc__.splitlines()[0],
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="TCP port (0 picks a free one; the bound "
+                             "address is printed on startup)")
+    parser.add_argument("--processes", type=int, default=0,
+                        help="run batches on an inner ProcessExecutor with "
+                             "this many worker processes (0 = in-process)")
+    parser.add_argument("--max-frame", type=int, default=MAX_FRAME_BYTES,
+                        help="per-frame payload cap in bytes")
+    args = parser.parse_args(argv)
+    serve(args.host, args.port, processes=args.processes,
+          max_frame=args.max_frame)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,10 @@ flushed batch to an :class:`Executor`, and two implementations exist:
   hint caches), it serializes batches per context with an execution lock.
   This is the pre-executor behavior, now an implementation detail of this
   class rather than of the registry.
+- :class:`repro.net.remote.RemoteExecutor` (the network tier) — the same
+  seam stretched over the framed socket transport: registry entries
+  replicate into :mod:`repro.net.worker` hosts instead of forked
+  processes, sharded by consistent hash of ``(signature, params)``.
 - :class:`ProcessExecutor` — warms N worker processes and *replicates* a
   registry entry's context into each worker exactly once, from its
   serialized keys (``context.to_state()``: params + secret coefficients +
@@ -91,6 +95,21 @@ def executes_values(backend) -> bool:
     """Whether the backend encrypts/evaluates request values (as opposed to
     the analytic models, which only need the op graph)."""
     return isinstance(backend, (FunctionalBackend, ReferenceBackend))
+
+
+def pick_least_inflight(candidates, *, tiebreak=None):
+    """The shared routing rule for replica/host pools: least in-flight
+    work first, ties broken by ``tiebreak`` (fewest total dispatches by
+    default, so an idle pool round-robins instead of pinning one member).
+
+    Used by :class:`ProcessExecutor` across its worker replicas and by
+    :class:`repro.net.remote.RemoteExecutor` along its consistent-hash
+    ring walk (there the tiebreak is ring order, so an idle cluster keeps
+    one signature's traffic on its stable primary host).
+    """
+    if tiebreak is None:
+        tiebreak = lambda c: c.dispatched  # noqa: E731 — tiny default
+    return min(candidates, key=lambda c: (c.inflight, tiebreak(c)))
 
 
 def _run_singly(program: Program, requests: list[Request], backend,
@@ -404,8 +423,7 @@ class ProcessExecutor:
             # Least in-flight first; ties (an idle pool) break by fewest
             # total dispatches, so sequential traffic round-robins instead
             # of pinning one replica.
-            replica = min(self._replicas,
-                          key=lambda r: (r.inflight, r.dispatched))
+            replica = pick_least_inflight(self._replicas)
             replica.inflight += 1
             replica.dispatched += 1
             return replica
@@ -568,8 +586,11 @@ class ProcessExecutor:
             return {
                 "executor": self.name,
                 "processes": self.processes,
+                "dispatched": sum(r.dispatched for r in self._replicas),
                 "dispatched_per_replica": [r.dispatched
                                            for r in self._replicas],
+                "inflight_per_replica": [r.inflight
+                                         for r in self._replicas],
                 "replicated_contexts": [len(r.contexts)
                                         for r in self._replicas],
                 "fallback": self._fallback.stats(),
@@ -604,15 +625,27 @@ class ProcessExecutor:
 
 
 def resolve_executor(executor) -> Executor:
-    """Accept an Executor instance or the names ``"thread"``/``"process"``."""
+    """Accept an Executor instance or a name: ``"thread"``, ``"process"``,
+    or ``"remote"``.
+
+    ``"remote"`` spawns a local 2-host worker cluster
+    (:func:`repro.net.cluster.remote_executor`) and fronts it with a
+    :class:`~repro.net.remote.RemoteExecutor` that owns it — the sharded
+    network tier, working out of the box; pass a RemoteExecutor instance
+    to front real remote hosts instead.
+    """
     if isinstance(executor, str):
         if executor == "thread":
             return ThreadExecutor()
         if executor == "process":
             return ProcessExecutor()
+        if executor == "remote":
+            from repro.net.cluster import remote_executor
+
+            return remote_executor()
         raise ValueError(
             f"unknown executor {executor!r}; choose 'thread', 'process', "
-            f"or pass an Executor instance"
+            f"'remote', or pass an Executor instance"
         )
     if isinstance(executor, Executor):
         return executor

@@ -282,7 +282,10 @@ class FheServer:
     ``executor`` decides where flushed batches run: ``"thread"`` (default,
     in-process with a per-context lock), ``"process"``/a
     :class:`~repro.serve.executor.ProcessExecutor` instance (a pool of
-    worker-process context replicas, no cross-request lock), or any
+    worker-process context replicas, no cross-request lock), ``"remote"``/
+    a :class:`~repro.net.remote.RemoteExecutor` instance (worker *hosts*
+    over the socket transport, sharded by consistent hash — the string
+    spawns a local cluster sized to ``workers``), or any
     :class:`~repro.serve.executor.Executor`.  Construct process executors
     *before* heavily threaded work so the fork happens from a quiet
     parent; the server closes an executor it constructed from a name, and
@@ -308,6 +311,12 @@ class FheServer:
             from repro.serve.executor import ProcessExecutor
 
             self.executor: Executor = ProcessExecutor(workers)
+        elif executor == "remote":
+            # Size the local worker-host cluster to ``workers`` so every
+            # worker thread can keep its own host busy.
+            from repro.net.cluster import remote_executor
+
+            self.executor = remote_executor(workers)
         else:
             self.executor = resolve_executor(executor)
         self.registry = registry if registry is not None else ProgramRegistry()
@@ -331,6 +340,9 @@ class FheServer:
         self._latencies_ms: deque[float] = deque(maxlen=TELEMETRY_WINDOW)
         self._queue_ms: deque[float] = deque(maxlen=TELEMETRY_WINDOW)
         self._occupancies: deque[float] = deque(maxlen=TELEMETRY_WINDOW)
+        #: wall time of executor.execute per batch — the dispatch cost the
+        #: executor tier adds (pipe/socket round-trips included)
+        self._dispatch_ms: deque[float] = deque(maxlen=TELEMETRY_WINDOW)
         self._completed = 0
         self._batches = 0
         self._errors = 0
@@ -622,7 +634,11 @@ class FheServer:
                 scheduler=self.backend.scheduler,
                 ks_choice=self.backend.ks_choice, check=self.backend.check,
             )
+        dispatch_start = time.perf_counter()
         outputs, result = self.executor.execute(job)
+        dispatch_ms = (time.perf_counter() - dispatch_start) * 1e3
+        with self._telemetry_lock:
+            self._dispatch_ms.append(dispatch_ms)
         return outputs, result, hit
 
     def _expire(self, group: _Group, pending: _Pending, now: float) -> None:
@@ -708,6 +724,15 @@ class FheServer:
         down by program signature, each with an exact batch-size
         histogram and the flush controller's current effective wait —
         the adaptive controller's inputs, exposed for dashboards.
+
+        ``executor`` is the executor tier's own telemetry (see the README
+        telemetry section for the schema): dispatch counters and, for the
+        pool executors, per-worker/per-host breakdowns —
+        ``inflight_per_replica`` on a process pool, and per-host
+        ``inflight``/``dispatched``/``reconnects``/``latency_ms`` rows on
+        a remote pool.  ``dispatch_ms`` is the server-side wall time of
+        ``executor.execute`` per batch — what the executor tier (pipe or
+        socket round-trips included) adds on top of the FHE math.
         """
         with self._groups_lock:
             groups = list(self._groups.values())
@@ -728,6 +753,7 @@ class FheServer:
                                    if self._occupancies else 0.0),
                 "latency_ms": _percentiles(latencies),
                 "queue_ms": _percentiles(queue),
+                "dispatch_ms": _percentiles(np.asarray(self._dispatch_ms)),
                 "per_signature": {
                     g.signature: {
                         "program": g.program.name,

@@ -23,7 +23,9 @@ Steps, in order:
 — including the multi-threaded serving stress tests — finish in seconds
 instead of minutes.  Both modes additionally run a 2-process executor
 smoke (fresh interpreter, forked worker pool, context replication from
-serialized keys) so CI always exercises the process-pool serving path.
+serialized keys) and a 2-host cluster smoke (worker-host subprocesses
+behind the framed socket transport, replication over the wire) so CI
+always exercises both the process-pool and the network serving paths.
 
 Exits non-zero if any step fails, so CI can gate on this single command.
 """
@@ -84,6 +86,15 @@ def main(argv: list[str] | None = None) -> int:
         "process smoke",
         [py, "-c", "import sys; from repro.serve.executor import "
                    "process_smoke; sys.exit(process_smoke(2))"],
+    ))
+    # A 2-host cluster smoke: spawns two repro.net.worker subprocesses,
+    # replicates a registry entry over the framed socket transport, checks
+    # the keygen-once invariant host-side, and verifies remote batched
+    # outputs are bit-identical to in-process execution.
+    results.append(_step(
+        "cluster smoke",
+        [py, "-c", "import sys; from repro.net.cluster import "
+                   "cluster_smoke; sys.exit(cluster_smoke(2))"],
     ))
     if not (args.fast or args.skip_perf):
         results.append(
