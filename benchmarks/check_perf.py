@@ -15,7 +15,9 @@ the context serde round-trip paid when replicating state into a worker
 process, the executor's batch-dispatch overhead, the level/rotation
 batching paths: a mixed-level BGV batch and a masked CKKS rotation batch,
 and the network tier: the frame codec round-trip and a full remote batch
-dispatch against a live local worker-host subprocess)
+dispatch against a live local worker-host subprocess, plus the
+observability guards: the disabled-tracing span check and a metrics-blob
+histogram merge)
 and compares each against the recorded baseline in ``BENCH_engine.json``
 next to this script.  A kernel regresses if it is more than ``--tolerance``
 times slower than baseline (generous by default: baselines travel between
@@ -148,7 +150,8 @@ def _kernels():
     from repro.net.framing import MsgType, decode_frame, encode_frame
 
     frame_payload = pickle.dumps(
-        [(r.inputs, r.plains, r.seed, r.level) for r in serve_requests]
+        [(r.inputs, r.plains, r.seed, r.level, r.trace)
+         for r in serve_requests]
     )
     net_program = linear_bgv_program(128)
     net_batcher = SlotBatcher(net_program, width=4)
@@ -163,6 +166,26 @@ def _kernels():
         requests=net_requests, batcher=net_batcher, backend=serve_backend,
         context_entry=net_entry,
     )
+
+    # Observability hot paths: the disabled-tracing guard the serving
+    # layer pays on every request (must stay a bare attribute read), and
+    # a cross-process histogram merge of two realistic metrics blobs
+    # (what every HEARTBEAT/RESULT reply costs the coordinator).
+    from repro.obs.metrics import MetricsRegistry, merge_snapshots
+    from repro.obs.trace import span_overhead_probe
+
+    def _metrics_blob(seed: int) -> dict:
+        blob_rng = np.random.default_rng(seed)
+        reg = MetricsRegistry()
+        for name in ("serve.latency_ms", "serve.queue_ms",
+                     "serve.execute_ms", "kernel.ntt_forward.ms"):
+            h = reg.histogram(name)
+            for v in blob_rng.lognormal(1.0, 1.5, 512):
+                h.observe(float(v))
+        reg.counter("serve.requests").inc(512)
+        return reg.snapshot()
+
+    blob_a, blob_b = _metrics_blob(1), _metrics_blob(2)
 
     return {
         "ntt_forward_all_limb": lambda: ctx.forward(limbs),
@@ -195,6 +218,8 @@ def _kernels():
             encode_frame(MsgType.EXECUTE, frame_payload)
         ),
         "net_dispatch": lambda: net_executor.execute(net_job),
+        "obs_span_overhead": lambda: span_overhead_probe(),
+        "metrics_histogram_merge": lambda: merge_snapshots(blob_a, blob_b),
     }
 
 

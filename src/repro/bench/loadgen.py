@@ -571,7 +571,29 @@ def main(argv=None) -> int:
     parser.add_argument("--hosts", type=int, default=0,
                         help="compare 1-host vs N-host remote serving over "
                              "local worker-host subprocesses (0 = off)")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="record per-request spans and write a Chrome "
+                             "trace-event JSON timeline here (open in "
+                             "ui.perfetto.dev); works in every mode, "
+                             "including --hosts")
     args = parser.parse_args(argv)
+    if not args.trace:
+        return _run(args)
+    # Enable the process-wide tracer up front: FheServer.submit mints a
+    # trace id per request whenever the tracer is live, and worker-side
+    # spans ship back over the wire into the coordinator ring dumped below.
+    from repro.obs.trace import tracer
+
+    tracer().set_label("coordinator")
+    tracer().enable()
+    try:
+        return _run(args)
+    finally:
+        n_spans = tracer().dump(args.trace)
+        print(f"trace: {n_spans} spans -> {args.trace}")
+
+
+def _run(args) -> int:
     if args.hosts:
         report = run_cluster_loadgen(
             hosts=args.hosts,

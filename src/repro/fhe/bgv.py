@@ -30,6 +30,7 @@ from repro.fhe.keyswitch import (
 )
 from repro.fhe.params import FheParams
 from repro.fhe.sampling import sample_error, small_poly, uniform_poly
+from repro.obs.profile import instrument
 from repro.poly import kernels
 from repro.poly.automorphism import automorphism_ntt_permutation
 from repro.poly.polynomial import Domain, RnsPolynomial
@@ -394,6 +395,7 @@ class BgvContext(FheContext):
             ),
         )
 
+    @instrument("mod_switch")
     def mod_switch_to(self, ct: Ciphertext, level: int) -> Ciphertext:
         """Switch down to ``level`` limbs in one coefficient-domain chain.
 

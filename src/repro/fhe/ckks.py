@@ -20,6 +20,7 @@ from repro.fhe.ciphertext import Ciphertext
 from repro.fhe.encoding import CkksEncoder
 from repro.fhe.params import FheParams
 from repro.fhe.sampling import sample_error, small_poly, uniform_poly
+from repro.obs.profile import instrument
 from repro.poly.polynomial import Domain, RnsPolynomial
 
 
@@ -206,6 +207,7 @@ class CkksContext(BgvContext):
             ct.b.to_coeff().drop_limb().to_ntt(),
         )
 
+    @instrument("mod_switch")
     def mod_switch_to(self, ct: Ciphertext, level: int) -> Ciphertext:
         """Drop limbs down to ``level`` with a single NTT round-trip
         (bit-identical to looping :meth:`mod_switch`)."""

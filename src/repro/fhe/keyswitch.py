@@ -45,6 +45,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fhe.keys import KeySwitchHint, RaisedKeySwitchHint
+from repro.obs.profile import instrument
 from repro.poly import kernels
 from repro.poly.ntt import get_rns_context
 from repro.poly.polynomial import Domain, RnsPolynomial
@@ -93,6 +94,7 @@ def _digit_ntt_stack(x: RnsPolynomial) -> np.ndarray:
     return ctx.forward(digits)
 
 
+@instrument("key_switch")
 def key_switch_v1(x: RnsPolynomial, hint: KeySwitchHint) -> tuple[RnsPolynomial, RnsPolynomial]:
     """Listing 1: RNS-digit decomposition key switch, batched across limbs.
 
@@ -107,6 +109,7 @@ def key_switch_v1(x: RnsPolynomial, hint: KeySwitchHint) -> tuple[RnsPolynomial,
     return key_switch_v1_hoisted(HoistedDecomposition(x), hint)
 
 
+@instrument("key_switch_hoisted")
 def key_switch_v1_hoisted(
     dec: HoistedDecomposition,
     hint: KeySwitchHint,
@@ -134,6 +137,7 @@ def key_switch_v1_hoisted(
     )
 
 
+@instrument("key_switch")
 def key_switch_v2(
     x: RnsPolynomial,
     hint: RaisedKeySwitchHint,
@@ -159,6 +163,7 @@ def hoist_raise(x: RnsPolynomial, hint: RaisedKeySwitchHint) -> RnsPolynomial:
     return base_extend(x.to_coeff(), hint.extended).to_ntt()
 
 
+@instrument("key_switch_hoisted")
 def key_switch_v2_hoisted(
     x_ext: RnsPolynomial,
     hint: RaisedKeySwitchHint,
@@ -182,6 +187,7 @@ def key_switch_v2_hoisted(
     return u0, u1
 
 
+@instrument("base_extend")
 def base_extend(x: RnsPolynomial, extended: RnsBasis) -> RnsPolynomial:
     """Fast RNS base extension (coefficient domain -> coefficient domain).
 
@@ -214,6 +220,7 @@ def base_extend(x: RnsPolynomial, extended: RnsBasis) -> RnsPolynomial:
     return RnsPolynomial(extended, out, Domain.COEFF)
 
 
+@instrument("scale_down")
 def scale_down(
     x: RnsPolynomial,
     special: RnsBasis,

@@ -32,7 +32,10 @@ import sys
 import time
 from pathlib import Path
 
+from repro.obs.log import get_logger
+
 _SRC_ROOT = str(Path(__file__).resolve().parents[2])
+_log = get_logger("repro.net.cluster")
 
 
 def _worker_env() -> dict:
@@ -68,8 +71,12 @@ def _spawn_worker(port: int, *, processes: int = 0,
         if "listening on" in line:
             addr = line.rsplit(" ", 1)[-1].strip()
             host, _, bound_port = addr.rpartition(":")
+            _log.info("worker_spawned", pid=proc.pid, host=host,
+                      port=int(bound_port), processes=processes)
             return proc, (host, int(bound_port))
     proc.kill()
+    _log.error("worker_spawn_failed", port=port,
+               output="".join(lines).strip())
     raise RuntimeError(
         "worker subprocess failed to start:\n" + "".join(lines)
     )
@@ -124,6 +131,9 @@ class LocalCluster:
 
     def kill(self, index: int) -> None:
         """Hard-kill one worker (SIGKILL): the failover scenario."""
+        host, port = self._addrs[index]
+        _log.warning("worker_killed", index=index, host=host, port=port,
+                     pid=self._procs[index].pid)
         self._procs[index].kill()
         self._procs[index].wait()
 
@@ -151,6 +161,8 @@ class LocalCluster:
                 time.sleep(0.2)
         self._procs[index] = new_proc
         self._addrs[index] = addr
+        _log.info("worker_restarted", index=index, host=addr[0],
+                  port=addr[1], pid=new_proc.pid)
 
     def close(self) -> None:
         for proc in self._procs:

@@ -41,7 +41,9 @@ import zlib
 
 #: bump when the header layout or message vocabulary changes; HELLO
 #: carries it so mismatched peers part cleanly instead of mis-parsing.
-FRAME_VERSION = 1
+#: v2: EXECUTE request tuples gained a trace-id element and RESULT /
+#: HEARTBEAT replies gained span and metrics payloads (repro.obs).
+FRAME_VERSION = 2
 
 MAGIC = b"FH"
 

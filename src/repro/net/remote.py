@@ -42,11 +42,12 @@ import itertools
 import socket
 import threading
 import time
-from collections import deque
 
 import numpy as np
 
 from repro.backends import FunctionalBackend, RunResult
+from repro.obs.metrics import Histogram
+from repro.obs.trace import tracer
 from repro.net.framing import (
     FRAME_VERSION,
     MAX_FRAME_BYTES,
@@ -114,8 +115,13 @@ class _Host:
         self.dispatched = 0
         self.failed = 0
         self.reconnects = -1      # first connect is not a *re*connect
-        self.latencies_ms: deque[float] = deque(maxlen=512)
+        #: round-trip latency distribution (mergeable obs histogram —
+        #: the same bucket layout every other layer reports through)
+        self.latencies_ms = Histogram()
         self.remote: dict = {}    # last heartbeat reply (pid, load)
+        #: latest metrics blob piggybacked on a HEARTBEAT or RESULT
+        #: reply (cumulative per host process, so latest-wins folds)
+        self.metrics: dict | None = None
         self._rr = itertools.count()
 
     def next_channel(self) -> _Channel:
@@ -275,6 +281,10 @@ class RemoteExecutor:
                         msg_type, reply = recv_msg(sock,
                                                    max_frame=self.max_frame)
                     if msg_type is MsgType.HEARTBEAT:
+                        metrics = (reply.pop("metrics", None)
+                                   if isinstance(reply, dict) else None)
+                        if metrics is not None:
+                            host.metrics = metrics
                         host.remote = reply
                 except (OSError, FrameError, ConnectionError):
                     self._mark_dead(host)
@@ -446,11 +456,27 @@ class RemoteExecutor:
                     "ctx": key, "program": job.signature,
                     "backend": backend_key,
                     "batched": job.batcher is not None,
-                    "requests": [(r.inputs, r.plains, r.seed, r.level)
+                    "requests": [(r.inputs, r.plains, r.seed, r.level,
+                                  getattr(r, "trace", None))
                                  for r in job.requests],
                 })
-            host.latencies_ms.append((time.perf_counter() - start) * 1e3)
-            return reply["outputs"], reply["result"]
+            host.latencies_ms.observe((time.perf_counter() - start) * 1e3)
+            # Fold the host's observability payload into the coordinator:
+            # spans it captured for traced requests, its cumulative
+            # metrics blob, and which host actually served the batch.
+            tracer().ingest(reply.get("spans"))
+            if reply.get("metrics") is not None:
+                host.metrics = reply["metrics"]
+            result = reply["result"]
+            if isinstance(result.stats, dict):
+                inner = result.stats.get("executed_on") or {}
+                result.stats["executed_on"] = {
+                    "executor": self.name,
+                    "addr": f"{host.addr[0]}:{host.addr[1]}",
+                    "pid": reply.get("pid"),
+                    "via": inner.get("executor"),
+                }
+            return reply["outputs"], result
         finally:
             self._release_slot(host)
 
@@ -523,7 +549,6 @@ class RemoteExecutor:
         with self._guard:
             hosts = []
             for host in self._hosts:
-                lat = np.asarray(host.latencies_ms)
                 hosts.append({
                     "addr": f"{host.addr[0]}:{host.addr[1]}",
                     "alive": not host.dead,
@@ -531,10 +556,7 @@ class RemoteExecutor:
                     "dispatched": host.dispatched,
                     "failed": host.failed,
                     "reconnects": max(host.reconnects, 0),
-                    "latency_ms": {
-                        "p50": float(np.percentile(lat, 50)) if lat.size else 0.0,
-                        "mean": float(np.mean(lat)) if lat.size else 0.0,
-                    },
+                    "latency_ms": host.latencies_ms.summary(),
                     "remote": dict(host.remote),
                 })
             return {
@@ -544,6 +566,13 @@ class RemoteExecutor:
                 "reconnects": sum(max(h.reconnects, 0) for h in self._hosts),
                 "fallback": self._fallback.stats(),
             }
+
+    def metrics_blobs(self) -> list[dict]:
+        """Latest metrics snapshot from each worker host (piggybacked on
+        HEARTBEAT and RESULT replies; cumulative per host process), for
+        the server to merge into its registry."""
+        with self._guard:
+            return [h.metrics for h in self._hosts if h.metrics]
 
     def close(self) -> None:
         with self._guard:

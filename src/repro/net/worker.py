@@ -27,9 +27,13 @@ Protocol (see :mod:`repro.net.framing` for the frame format):
   batch, executed through the PR 5 executor seam (an in-process
   :class:`~repro.serve.executor.ThreadExecutor` by default, or a
   ``--processes N`` :class:`~repro.serve.executor.ProcessExecutor` for
-  multi-core hosts); replies ``RESULT {outputs, result}``.
-- ``HEARTBEAT`` — replies ``HEARTBEAT {pid, inflight, served}``; the
-  coordinator's monitor uses it for liveness and load telemetry.
+  multi-core hosts); replies ``RESULT {outputs, result, pid, spans,
+  metrics}`` — captured trace spans for traced requests, plus this
+  host's cumulative :mod:`repro.obs.metrics` blob, which the
+  coordinator merges into its own registry.
+- ``HEARTBEAT`` — replies ``HEARTBEAT {pid, inflight, served,
+  metrics}``; the coordinator's monitor uses it for liveness, load
+  telemetry, and metrics merging between batches.
 
 Execution failures are answered with ``ERROR {error, traceback}`` and
 the connection stays usable; malformed *frames* are answered with a
@@ -44,9 +48,13 @@ import os
 import socket
 import threading
 import traceback
+from contextlib import nullcontext
 
 import numpy as np
 
+from repro.obs.log import get_logger
+from repro.obs.metrics import global_metrics, merge_snapshots
+from repro.obs.trace import tracer
 from repro.net.framing import (
     FRAME_VERSION,
     MAX_FRAME_BYTES,
@@ -73,10 +81,12 @@ class WorkerHost:
     """
 
     def __init__(self, *, processes: int = 0,
-                 max_frame: int = MAX_FRAME_BYTES):
+                 max_frame: int = MAX_FRAME_BYTES,
+                 log=None):
         self.max_frame = max_frame
         self.executor = (ProcessExecutor(processes) if processes
                          else ThreadExecutor())
+        self.log = log if log is not None else get_logger("repro.net.worker")
         self._guard = threading.Lock()
         self._entries: dict[int, ContextEntry] = {}
         #: signature -> (program, batcher or None for unbatchable traffic)
@@ -158,16 +168,26 @@ class WorkerHost:
             backend = self._backends[msg["backend"]]
             self._inflight += 1
         try:
-            requests = [Request(inputs=i, plains=p, seed=s, level=lv)
-                        for i, p, s, lv in msg["requests"]]
+            requests = [Request(inputs=i, plains=p, seed=s, level=lv, trace=t)
+                        for i, p, s, lv, t in msg["requests"]]
             job = BatchJob(
                 program=program, signature=msg["program"], requests=requests,
                 batcher=batcher if msg["batched"] else None,
                 backend=backend, context_entry=entry,
             )
-            outputs, result = self.executor.execute(job)
+            # Traced batches capture this host's spans (including any
+            # forwarded by an inner process pool) and ship them on the
+            # reply; every reply piggybacks the host's merged metrics
+            # blob so coordinator percentiles cover worker-side time.
+            tr = tracer()
+            cap = (tr.capture() if any(r.trace for r in requests)
+                   else nullcontext([]))
+            with cap as spans:
+                outputs, result = self.executor.execute(job)
             return MsgType.RESULT, {"ok": True, "outputs": outputs,
-                                    "result": result}
+                                    "result": result, "pid": os.getpid(),
+                                    "spans": spans,
+                                    "metrics": self.metrics_blob()}
         finally:
             with self._guard:
                 self._inflight -= 1
@@ -189,6 +209,7 @@ class WorkerHost:
                     "pid": os.getpid(),
                     "inflight": self._inflight,
                     "served": self._served,
+                    "metrics": self.metrics_blob(),
                 }
         if msg_type is MsgType.REPLICATE:
             return self._handle_replicate(msg)
@@ -212,6 +233,8 @@ class WorkerHost:
                 except PeerClosed:
                     return
                 except FrameError as exc:
+                    self.log.error("framing_violation",
+                                   error=f"{type(exc).__name__}: {exc}")
                     try:
                         send_msg(conn, MsgType.ERROR, {
                             "error": f"{type(exc).__name__}: {exc}",
@@ -225,6 +248,11 @@ class WorkerHost:
                 try:
                     reply_type, reply = self._handle_one(msg_type, msg)
                 except BaseException as exc:  # noqa: BLE001 — shipped back
+                    entry = (msg.get("ctx") if isinstance(msg, dict)
+                             else None)
+                    self.log.error("handler_failed",
+                                   msg_type=msg_type.name, entry=entry,
+                                   error=f"{type(exc).__name__}: {exc}")
                     reply_type, reply = MsgType.ERROR, {
                         "error": f"{type(exc).__name__}: {exc}",
                         "traceback": traceback.format_exc(),
@@ -243,6 +271,12 @@ class WorkerHost:
                     "programs": len(self._programs),
                     "backends": len(self._backends)}
 
+    def metrics_blob(self) -> dict:
+        """This host's cumulative metrics: the process-global registry
+        merged with any inner pool replicas' snapshots."""
+        blobs = getattr(self.executor, "metrics_blobs", lambda: [])()
+        return merge_snapshots(global_metrics().snapshot(), *blobs)
+
     def close(self) -> None:
         self.executor.close()
 
@@ -254,13 +288,18 @@ def serve(host: str = "127.0.0.1", port: int = 0, *, processes: int = 0,
     ``ready``, if given, is called with the bound ``(host, port)`` once
     the socket is listening (test hook).
     """
-    worker = WorkerHost(processes=processes, max_frame=max_frame)
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     listener.bind((host, port))
     listener.listen(32)
     bound = listener.getsockname()
+    log = get_logger("repro.net.worker", host=bound[0], port=bound[1])
+    worker = WorkerHost(processes=processes, max_frame=max_frame, log=log)
+    tracer().set_label(f"worker {bound[0]}:{bound[1]}")
+    # This stdout banner is machine-read by LocalCluster to discover
+    # auto-assigned ports — it must stay on stdout, exactly this shape.
     print(f"repro.net.worker listening on {bound[0]}:{bound[1]}", flush=True)
+    log.info("listening", pid=os.getpid(), processes=processes)
     if ready is not None:
         ready(bound)
     try:

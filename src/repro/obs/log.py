@@ -1,0 +1,72 @@
+"""Structured logging for the network tier (and anything else).
+
+``REPRO_LOG=json`` emits one JSON object per line; ``REPRO_LOG=text``
+(the default) emits a human-readable ``ts level logger event k=v ...``
+line.  Both go to stderr so they never interleave with protocol output
+on stdout (``LocalCluster`` parses a worker's stdout banner to discover
+its bound port — that line must stay machine-readable).
+
+Loggers are cheap named objects with bound context::
+
+    log = get_logger("repro.net.worker").bind(host="0.0.0.0", port=7100)
+    log.info("listening")
+    log.error("execute_failed", entry=key, error=str(exc))
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from typing import Any, Dict
+
+
+def _mode() -> str:
+    return os.environ.get("REPRO_LOG", "text").strip().lower()
+
+
+class StructLogger:
+    """A named logger carrying bound key=value context."""
+
+    __slots__ = ("name", "context")
+
+    def __init__(self, name: str, context: Dict[str, Any] | None = None) -> None:
+        self.name = name
+        self.context = dict(context or {})
+
+    def bind(self, **fields: Any) -> "StructLogger":
+        """Child logger with extra bound context fields."""
+        merged = dict(self.context)
+        merged.update(fields)
+        return StructLogger(self.name, merged)
+
+    def _emit(self, level: str, event: str, fields: Dict[str, Any]) -> None:
+        record = dict(self.context)
+        record.update(fields)
+        now = time.time()
+        if _mode() == "json":
+            line = json.dumps({
+                "ts": round(now, 6), "level": level, "logger": self.name,
+                "event": event, **record,
+            }, default=str)
+        else:
+            stamp = time.strftime("%H:%M:%S", time.localtime(now))
+            extras = " ".join(f"{k}={v}" for k, v in record.items())
+            line = f"{stamp} {level:<5s} {self.name} {event}"
+            if extras:
+                line += f" {extras}"
+        print(line, file=sys.stderr, flush=True)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self._emit("INFO", event, fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self._emit("WARN", event, fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self._emit("ERROR", event, fields)
+
+
+def get_logger(name: str, **bound: Any) -> StructLogger:
+    return StructLogger(name, bound)

@@ -40,6 +40,8 @@ import os
 
 import numpy as np
 
+from repro.obs.profile import instrument
+
 #: Exclusive upper bound on moduli eligible for the lazy ([0, 2q)) paths.
 #: Proof obligations (see shoup_mul / lazy_butterfly): with x < 2q and
 #: w < q, both x*w and x*w' stay below 2^63 < 2^64 only when q < 2^31.
@@ -141,6 +143,7 @@ def fused_mul_add(a: np.ndarray, b: np.ndarray, c: np.ndarray, d: np.ndarray,
     return add_mod((a * b) % q, (c * d) % q, q)
 
 
+@instrument("modmul_mac")
 def mul_accumulate(stack_a: np.ndarray, stack_b: np.ndarray,
                    q_col: np.ndarray) -> np.ndarray:
     """``sum_k stack_a[k] * stack_b[k] mod q`` — the key-switch inner loop.

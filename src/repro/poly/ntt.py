@@ -68,6 +68,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.obs.profile import instrument
 from repro.poly import kernels
 from repro.poly.kernels import MAX_LAZY_MODULUS, cond_sub
 from repro.rns.primes import primitive_root_of_unity
@@ -423,6 +424,7 @@ class RnsNttContext:
             )
         return limbs
 
+    @instrument("ntt_forward")
     def forward(self, limbs: np.ndarray) -> np.ndarray:
         """All-limb negacyclic NTT: ``(..., L, N)`` coefficient -> evaluation."""
         limbs = self._check_shape(limbs)
@@ -433,6 +435,7 @@ class RnsNttContext:
             twisted[..., self._bitrev], self._stages_fwd, self._q_block
         )
 
+    @instrument("ntt_inverse")
     def inverse(self, evals: np.ndarray) -> np.ndarray:
         """All-limb inverse negacyclic NTT: ``(..., L, N)`` evaluation -> coeff."""
         evals = self._check_shape(evals)

@@ -24,6 +24,8 @@ from functools import lru_cache, reduce
 
 import numpy as np
 
+from repro.obs.profile import instrument
+
 
 class RnsBasis:
     """An ordered RNS basis ``(q_1, ..., q_L)`` with CRT helpers.
@@ -75,6 +77,7 @@ class RnsBasis:
         """CRT interpolation data: ``(Q/q_i, (Q/q_i)^{-1} mod q_i)`` per limb."""
         return _crt_weights(self.moduli)
 
+    @instrument("crt_to_rns")
     def to_rns(self, coeffs) -> np.ndarray:
         """Reduce integer coefficients (array or list of Python ints) limb-wise.
 
@@ -99,6 +102,7 @@ class RnsBasis:
             out[i] = (values % q).astype(np.uint64)
         return out
 
+    @instrument("crt_from_rns")
     def from_rns(self, limbs: np.ndarray, *, centered: bool = False) -> list[int]:
         """CRT-reconstruct wide integer coefficients from an ``(L, N)`` array.
 

@@ -51,6 +51,7 @@ import numpy as np
 
 from repro.backends import resolve_backend
 from repro.dsl.program import OpKind, Program
+from repro.obs.trace import tracer
 
 
 class BatchUnsupported(ValueError):
@@ -72,12 +73,18 @@ class Request:
     at different levels still share a batch: packing mod-switches every
     cohort down to the shallowest request's waterline before the program
     runs (see :func:`level_alignment_plan`).
+
+    ``trace`` is the observability join key (``repro.obs``): minted by
+    the server at submit when tracing is on, it travels with the request
+    through executor pipes and the wire so every span recorded for this
+    request — in any process — lands on one stitched timeline.
     """
 
     inputs: dict[int, np.ndarray] = field(default_factory=dict)
     plains: dict[int, np.ndarray] = field(default_factory=dict)
     seed: int | None = None
     level: int | None = None
+    trace: str | None = None
 
 
 @dataclass(frozen=True)
@@ -566,11 +573,30 @@ class SlotBatcher:
         amortize its modeled/measured time over the batch.
         """
         requests = list(requests)
-        inputs, plains = self.pack(requests)
-        layout = self.layout(requests)
+        tr = tracer()
+        if not tr.active:
+            inputs, plains = self.pack(requests)
+            layout = self.layout(requests)
+            if layout is not None:
+                run_kw = {**run_kw, "batch_layout": layout}
+            result = resolve_backend(backend).run(
+                self.program, inputs=inputs, plains=plains, seed=seed, **run_kw
+            )
+            return self.unpack(result.outputs, len(requests)), result
+        # Traced path: identical work, with pack/execute/unpack spans
+        # carrying the batch's trace ids (runs coordinator-side under a
+        # ThreadExecutor and worker-side under a remote host alike).
+        traces = [r.trace for r in requests if getattr(r, "trace", None)]
+        with tr.span("pack", traces=traces, k=len(requests)):
+            inputs, plains = self.pack(requests)
+            layout = self.layout(requests)
         if layout is not None:
             run_kw = {**run_kw, "batch_layout": layout}
-        result = resolve_backend(backend).run(
-            self.program, inputs=inputs, plains=plains, seed=seed, **run_kw
-        )
-        return self.unpack(result.outputs, len(requests)), result
+        backend_label = backend if isinstance(backend, str) else type(backend).__name__
+        with tr.span("execute", traces=traces, backend=backend_label):
+            result = resolve_backend(backend).run(
+                self.program, inputs=inputs, plains=plains, seed=seed, **run_kw
+            )
+        with tr.span("unpack", traces=traces):
+            unpacked = self.unpack(result.outputs, len(requests))
+        return unpacked, result

@@ -43,7 +43,9 @@ import hashlib
 import itertools
 import os
 import threading
+import time
 import traceback
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Protocol, runtime_checkable
 
@@ -54,6 +56,9 @@ from repro.backends import (
     RunResult,
 )
 from repro.dsl.program import Program
+from repro.obs import profile as _obs_profile
+from repro.obs.metrics import global_metrics
+from repro.obs.trace import tracer
 from repro.serve.batcher import Request, SlotBatcher, solo_layout
 from repro.serve.registry import CompiledEntry, ContextEntry
 
@@ -125,14 +130,17 @@ def _run_singly(program: Program, requests: list[Request], backend,
     """
     outputs = []
     result: RunResult | None = None
+    tr = tracer()
     for req in requests:
         kw = run_kw
         if req.level is not None:
             kw = {**run_kw, "batch_layout": solo_layout(program, req.level)}
-        result = backend.run(
-            program, inputs=req.inputs or None, plains=req.plains or None,
-            seed=req.seed, **kw,
-        )
+        trace = getattr(req, "trace", None)
+        with tr.span("execute", traces=[trace] if trace else [], solo=True):
+            result = backend.run(
+                program, inputs=req.inputs or None, plains=req.plains or None,
+                seed=req.seed, **kw,
+            )
         outputs.append(result.outputs)
     return outputs, result
 
@@ -180,6 +188,23 @@ class ThreadExecutor:
     def execute(self, job: BatchJob) -> tuple[list[dict], RunResult]:
         with self._guard:
             self._dispatched += 1
+        # Attribute kernel timers to this signature and record the
+        # executor-tier execute time into the process-global registry —
+        # in a pool replica or worker host this is the local registry
+        # whose snapshot ships upstream, so fleet-wide execute_ms merges.
+        t0 = time.perf_counter()
+        with _obs_profile.attributed(job.signature):
+            outputs, result = self._dispatch(job)
+        global_metrics().histogram("serve.execute_ms").observe(
+            (time.perf_counter() - t0) * 1e3
+        )
+        if isinstance(result.stats, dict):
+            result.stats.setdefault(
+                "executed_on", {"executor": self.name, "pid": os.getpid()}
+            )
+        return outputs, result
+
+    def _dispatch(self, job: BatchJob) -> tuple[list[dict], RunResult]:
         backend = job.backend
         if isinstance(backend, FunctionalBackend) and job.context_entry is not None:
             entry = job.context_entry
@@ -210,6 +235,11 @@ class ThreadExecutor:
     def stats(self) -> dict:
         with self._guard:
             return {"executor": self.name, "dispatched": self._dispatched}
+
+    def metrics_blobs(self) -> list[dict]:
+        """Remote metrics snapshots to merge (none: we run in-process,
+        so our timings are already in the caller's global registry)."""
+        return []
 
     def close(self) -> None:
         pass
@@ -283,20 +313,48 @@ def _worker_main(conn) -> None:
                 ctx = contexts[msg["key"]]
                 program = programs[msg["program_key"]]
                 backend = backends[msg["backend_key"]]
+                # Traced batches capture this replica's spans and ship
+                # them back on the reply; every reply piggybacks the
+                # replica's metrics snapshot so the parent's percentiles
+                # cover worker-side time.
+                tr = tracer()
                 if msg["mode"] == "batched":
-                    result = backend.run(
-                        program, inputs=msg["inputs"], plains=msg["plains"],
-                        context=ctx, batch_layout=msg.get("layout"),
-                    )
-                    conn.send({"ok": True, "result": result})
-                else:
-                    requests = [Request(inputs=i, plains=p, seed=s, level=lv)
-                                for i, p, s, lv in msg["requests"]]
-                    outputs, result = _run_singly(
-                        program, requests, backend, context=ctx
-                    )
+                    traces = msg.get("traces") or []
+                    cap = tr.capture() if traces else nullcontext([])
+                    with _obs_profile.attributed(msg["program_key"]), \
+                            cap as spans:
+                        t0 = time.perf_counter()
+                        with tr.span("execute", traces=traces):
+                            result = backend.run(
+                                program, inputs=msg["inputs"],
+                                plains=msg["plains"], context=ctx,
+                                batch_layout=msg.get("layout"),
+                            )
+                        global_metrics().histogram(
+                            "serve.execute_ms"
+                        ).observe((time.perf_counter() - t0) * 1e3)
                     conn.send({"ok": True, "result": result,
-                               "outputs": outputs})
+                               "pid": os.getpid(), "spans": spans,
+                               "metrics": global_metrics().snapshot()})
+                else:
+                    requests = [Request(inputs=i, plains=p, seed=s,
+                                        level=lv, trace=t)
+                                for i, p, s, lv, t in msg["requests"]]
+                    traced = any(r.trace for r in requests)
+                    cap = tr.capture() if traced else nullcontext([])
+                    with _obs_profile.attributed(msg["program_key"]), \
+                            cap as spans:
+                        t0 = time.perf_counter()
+                        outputs, result = _run_singly(
+                            program, requests, backend, context=ctx
+                        )
+                        global_metrics().histogram(
+                            "serve.execute_ms"
+                        ).observe((time.perf_counter() - t0) * 1e3)
+                    conn.send({"ok": True, "result": result,
+                               "outputs": outputs, "pid": os.getpid(),
+                               "spans": spans,
+                               "metrics": global_metrics().snapshot()})
             else:
                 conn.send({"ok": False,
                            "error": f"unknown op {op!r}", "traceback": ""})
@@ -323,6 +381,9 @@ class _Replica:
         self.inflight = 0
         self.dispatched = 0
         self.dead = False
+        #: latest metrics snapshot piggybacked on a run reply (cumulative
+        #: per worker process, so latest-wins is the correct fold)
+        self.metrics: dict | None = None
         self.process = mp_ctx.Process(
             target=_worker_main, args=(child_conn,),
             name=f"fhe-executor-{index}", daemon=True,
@@ -496,12 +557,16 @@ class ProcessExecutor:
             return self._fallback.execute(job)
         key = self._ctx_key(job.context_entry)
         backend_key = self._backend_key(backend)
+        tr = tracer()
+        traces = [r.trace for r in job.requests if getattr(r, "trace", None)]
         replica = self._pick()
         try:
             with replica.lock:
                 key = self._ensure_replicated(replica, job, key, backend_key)
                 if job.batcher is not None:
-                    inputs, plains = job.batcher.pack(job.requests)
+                    with tr.span("pack", traces=traces, k=len(job.requests)):
+                        inputs, plains = job.batcher.pack(job.requests)
+                        layout = job.batcher.layout(job.requests)
                     # The layout (levels, rotation masking) is computed
                     # parent-side with the packing and travels with the
                     # run message — it is a small frozen dataclass.
@@ -510,21 +575,41 @@ class ProcessExecutor:
                         "program_key": job.signature,
                         "backend_key": backend_key,
                         "inputs": inputs, "plains": plains,
-                        "layout": job.batcher.layout(job.requests),
+                        "layout": layout, "traces": traces,
                     })
-                    result = reply["result"]
-                    return (job.batcher.unpack(result.outputs,
-                                               len(job.requests)), result)
+                    result = self._absorb(replica, reply)
+                    with tr.span("unpack", traces=traces):
+                        outputs = job.batcher.unpack(
+                            result.outputs, len(job.requests)
+                        )
+                    return outputs, result
                 reply = replica.call({
                     "op": "run", "mode": "singly", "key": key,
                     "program_key": job.signature,
                     "backend_key": backend_key,
-                    "requests": [(r.inputs, r.plains, r.seed, r.level)
+                    "requests": [(r.inputs, r.plains, r.seed, r.level,
+                                  getattr(r, "trace", None))
                                  for r in job.requests],
                 })
-                return reply["outputs"], reply["result"]
+                return reply["outputs"], self._absorb(replica, reply)
         finally:
             self._release(replica)
+
+    def _absorb(self, replica: _Replica, reply: dict) -> RunResult:
+        """Fold a run reply's observability payload into the parent:
+        ingest worker spans, keep the replica's latest metrics blob, and
+        stamp execution attribution onto the result."""
+        tracer().ingest(reply.get("spans"))
+        if reply.get("metrics") is not None:
+            replica.metrics = reply["metrics"]
+        result = reply["result"]
+        if isinstance(result.stats, dict):
+            result.stats["executed_on"] = {
+                "executor": self.name,
+                "replica": replica.index,
+                "pid": reply.get("pid"),
+            }
+        return result
 
     def release(self, entry: ContextEntry) -> None:
         """Drop a replicated entry: unpin it in the parent and evict its
@@ -595,6 +680,12 @@ class ProcessExecutor:
                                         for r in self._replicas],
                 "fallback": self._fallback.stats(),
             }
+
+    def metrics_blobs(self) -> list[dict]:
+        """Latest metrics snapshot from each replica (cumulative per
+        worker process), for the server to merge into its registry."""
+        with self._guard:
+            return [r.metrics for r in self._replicas if r.metrics]
 
     def close(self) -> None:
         with self._guard:

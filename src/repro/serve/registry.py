@@ -45,6 +45,7 @@ import threading
 from dataclasses import dataclass
 
 from repro.backends import params_for_program
+from repro.obs.metrics import MetricsRegistry
 from repro.compiler.pipeline import CompiledProgram, compile_program
 from repro.serve.batcher import level_alignment_plan
 from repro.core.config import F1Config
@@ -97,8 +98,11 @@ class ProgramRegistry:
         self._building: dict[tuple, threading.Lock] = {}
         self._contexts: dict[tuple, ContextEntry] = {}
         self._compiled: dict[tuple, CompiledEntry] = {}
-        self._hits = 0
-        self._misses = 0
+        # Hit/miss counters live in a mergeable obs registry so the
+        # registry reports through the same schema as every other layer.
+        self.metrics = MetricsRegistry()
+        self._hits = self.metrics.counter("registry.hits")
+        self._misses = self.metrics.counter("registry.misses")
 
     # ------------------------------------------------------------- internals
     def _build_lock(self, key: tuple) -> threading.Lock:
@@ -110,7 +114,7 @@ class ProgramRegistry:
             entry = cache.get(key)
             if entry is not None:
                 entry.hits += 1
-                self._hits += 1
+                self._hits.inc()
             return entry
 
     # ------------------------------------------------------------ functional
@@ -154,7 +158,7 @@ class ProgramRegistry:
             )
             with self._guard:
                 self._contexts[key] = entry
-                self._misses += 1
+                self._misses.inc()
             return entry, False
 
     def level_plan_for(self, program: Program, entry: ContextEntry) -> dict:
@@ -204,7 +208,7 @@ class ProgramRegistry:
             )
             with self._guard:
                 self._compiled[key] = entry
-                self._misses += 1
+                self._misses.inc()
             return entry, False
 
     def _ensure_checked(self, entry: CompiledEntry, check: bool,
@@ -226,12 +230,13 @@ class ProgramRegistry:
     # -------------------------------------------------------------- telemetry
     def stats(self) -> dict:
         with self._guard:
-            total = self._hits + self._misses
+            hits, misses = self._hits.value, self._misses.value
+            total = hits + misses
             return {
                 "entries": len(self._contexts) + len(self._compiled),
                 "contexts": len(self._contexts),
                 "compiled": len(self._compiled),
-                "hits": self._hits,
-                "misses": self._misses,
-                "hit_rate": self._hits / total if total else 0.0,
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / total if total else 0.0,
             }

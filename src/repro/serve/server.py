@@ -63,6 +63,14 @@ from repro.backends import (
     validate_run_args,
 )
 from repro.dsl.program import Program
+from repro.obs.metrics import (
+    MetricsRegistry,
+    global_metrics,
+    merge_snapshots,
+    summarize_state,
+)
+from repro.obs.profile import kernel_breakdown
+from repro.obs.trace import new_trace_id, perf_to_us, tracer
 from repro.serve.batcher import (
     BatchUnsupported,
     Request,
@@ -77,10 +85,6 @@ from repro.serve.executor import (
     resolve_executor,
 )
 from repro.serve.registry import ProgramRegistry
-
-#: most-recent samples kept for p50/p99/occupancy telemetry; counters
-#: (requests, batches, errors) stay exact regardless.
-TELEMETRY_WINDOW = 4096
 
 #: :attr:`RequestResult.status` values
 STATUS_OK = "ok"
@@ -192,10 +196,11 @@ class _FlushController:
 
 class _Group:
     """All state for one program signature: batcher, bucket, registry
-    entry, flush controller, and per-signature telemetry windows."""
+    entry, flush controller, and per-signature telemetry histograms."""
 
     def __init__(self, program: Program, signature: str, width: int,
-                 max_batch: int | None, max_wait_s: float = 0.01):
+                 max_batch: int | None, max_wait_s: float = 0.01,
+                 metrics: MetricsRegistry | None = None):
         self.program = program
         self.signature = signature
         self.width = width
@@ -218,12 +223,15 @@ class _Group:
                           else level_alignment_plan(program))
         self.lock = threading.Lock()
         self.controller = _FlushController(max_wait_s, self.capacity)
-        # Per-signature telemetry (guarded by the server's telemetry lock):
-        # bounded windows like the global ones, plus an exact batch-size
-        # histogram — the dashboards' and the controller's raw material.
-        self.latencies_ms: deque[float] = deque(maxlen=TELEMETRY_WINDOW // 4)
-        self.queue_ms: deque[float] = deque(maxlen=TELEMETRY_WINDOW // 4)
-        self.occupancies: deque[float] = deque(maxlen=TELEMETRY_WINDOW // 4)
+        # Per-signature telemetry (guarded by the server's telemetry
+        # lock): mergeable log-bucket histograms in the server's metrics
+        # registry — bounded memory by construction, and the same schema
+        # every other layer reports through — plus an exact batch-size
+        # histogram.
+        metrics = metrics if metrics is not None else MetricsRegistry()
+        self.latencies_ms = metrics.histogram(f"sig.{signature}.latency_ms")
+        self.queue_ms = metrics.histogram(f"sig.{signature}.queue_ms")
+        self.occupancies = metrics.histogram(f"sig.{signature}.occupancy")
         self.batch_sizes: dict[int, int] = {}
         self.completed = 0
         self.batches = 0
@@ -296,9 +304,16 @@ class FheServer:
                  registry: ProgramRegistry | None = None, workers: int = 2,
                  max_batch: int | None = None, max_wait_ms: float = 10.0,
                  queue_depth: int = 128, seed: int = 0,
-                 executor: Executor | str = "thread"):
+                 executor: Executor | str = "thread",
+                 trace: bool = False):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if trace:
+            # Per-request span tracing: ids minted at submit ride each
+            # request through pipes/sockets; dump_trace() exports the
+            # stitched Chrome trace-event timeline.
+            tracer().set_label("coordinator")
+            tracer().enable()
         if isinstance(backend, str) and backend == "functional":
             self.backend = FunctionalBackend(validate=False)
         else:
@@ -335,18 +350,21 @@ class FheServer:
         self._closed = False   # admission gate (set first during close)
         self._stop = False     # worker/flusher shutdown
         self._telemetry_lock = threading.Lock()
-        # Bounded windows: counters stay exact for the server's lifetime,
-        # percentiles/occupancy reflect the most recent traffic.
-        self._latencies_ms: deque[float] = deque(maxlen=TELEMETRY_WINDOW)
-        self._queue_ms: deque[float] = deque(maxlen=TELEMETRY_WINDOW)
-        self._occupancies: deque[float] = deque(maxlen=TELEMETRY_WINDOW)
+        # Serving telemetry lives in a mergeable metrics registry
+        # (repro.obs.metrics): counters stay exact, latency/queue/
+        # occupancy distributions are fixed-log-bucket histograms whose
+        # percentiles stay correct when worker-host blobs merge in.
+        self.metrics = MetricsRegistry()
+        self._latencies_ms = self.metrics.histogram("serve.latency_ms")
+        self._queue_ms = self.metrics.histogram("serve.queue_ms")
+        self._occupancies = self.metrics.histogram("serve.occupancy")
         #: wall time of executor.execute per batch — the dispatch cost the
         #: executor tier adds (pipe/socket round-trips included)
-        self._dispatch_ms: deque[float] = deque(maxlen=TELEMETRY_WINDOW)
-        self._completed = 0
-        self._batches = 0
-        self._errors = 0
-        self._expired = 0
+        self._dispatch_ms = self.metrics.histogram("serve.dispatch_ms")
+        self._completed = self.metrics.counter("serve.requests")
+        self._batches = self.metrics.counter("serve.batches")
+        self._errors = self.metrics.counter("serve.errors")
+        self._expired = self.metrics.counter("serve.expired")
         self._first_submit: float | None = None
         self._last_done: float | None = None
         self._workers = [
@@ -400,6 +418,10 @@ class FheServer:
             raise ValueError("deadline_ms must be positive")
         request = Request(inputs=dict(inputs or {}), plains=dict(plains or {}),
                           seed=seed, level=level)
+        tr = tracer()
+        admit_start = time.perf_counter() if tr.enabled else 0.0
+        if tr.enabled:
+            request.trace = new_trace_id()
         validate_run_args(program, request.inputs or None,
                           request.plains or None)
         group = self._group_for(program, request, width)
@@ -445,6 +467,12 @@ class FheServer:
         except Exception:
             self._admission.release()
             raise
+        if tr.enabled:
+            # Admission span: validation + layout checks + enqueue.
+            end = time.perf_counter()
+            tr.record("admit", perf_to_us(admit_start),
+                      (end - admit_start) * 1e6, trace=request.trace,
+                      signature=group.signature[:16])
         if ready is not None:
             self._dispatch(group, ready)
         elif deadline_ms is not None:
@@ -533,7 +561,8 @@ class FheServer:
                                for v in request.inputs.values()]
                     width = max(lengths, default=program_width(program))
                 group = _Group(program, signature, width, self.max_batch,
-                               max_wait_s=self.max_wait_ms / 1e3)
+                               max_wait_s=self.max_wait_ms / 1e3,
+                               metrics=self.metrics)
                 self._groups[signature] = group
             return group
 
@@ -598,7 +627,7 @@ class FheServer:
                 self._execute(group, batch)
             except Exception as exc:  # noqa: BLE001 — delivered to futures
                 with self._telemetry_lock:
-                    self._errors += len(batch)
+                    self._errors.inc(len(batch))
                 for pending in batch:
                     if not pending.future.done():
                         pending.future.set_exception(exc)
@@ -634,11 +663,17 @@ class FheServer:
                 scheduler=self.backend.scheduler,
                 ks_choice=self.backend.ks_choice, check=self.backend.check,
             )
+        tr = tracer()
         dispatch_start = time.perf_counter()
         outputs, result = self.executor.execute(job)
-        dispatch_ms = (time.perf_counter() - dispatch_start) * 1e3
+        dispatch_end = time.perf_counter()
+        if tr.enabled:
+            tr.record("dispatch", perf_to_us(dispatch_start),
+                      (dispatch_end - dispatch_start) * 1e6,
+                      traces=[r.trace for r in requests if r.trace],
+                      executor=self.executor.name, k=len(requests))
         with self._telemetry_lock:
-            self._dispatch_ms.append(dispatch_ms)
+            self._dispatch_ms.observe((dispatch_end - dispatch_start) * 1e3)
         return outputs, result, hit
 
     def _expire(self, group: _Group, pending: _Pending, now: float) -> None:
@@ -657,7 +692,7 @@ class FheServer:
                 status=STATUS_EXPIRED,
             ))
         with self._telemetry_lock:
-            self._expired += 1
+            self._expired.inc()
 
     def _execute(self, group: _Group, batch: list[_Pending]) -> None:
         # Fail past-deadline requests fast: they resolve with the expired
@@ -676,6 +711,14 @@ class FheServer:
         # deliver results below.
         live = [p.future.set_running_or_notify_cancel() for p in live_batch]
         started = time.perf_counter()
+        tr = tracer()
+        if tr.enabled:
+            # One queue span per request: submit -> batch execution start.
+            for pending in live_batch:
+                if pending.request.trace:
+                    tr.record("queue", perf_to_us(pending.enqueued),
+                              (started - pending.enqueued) * 1e6,
+                              trace=pending.request.trace)
         outputs, result, hit = self._run_batch(group, live_batch)
         done = time.perf_counter()
         k = len(live_batch)
@@ -683,6 +726,11 @@ class FheServer:
         occupancy = group.batcher.occupancy(k) if batched else 1.0
         time_share = (result.time_ms / k
                       if result.time_ms is not None and batched else result.time_ms)
+        # Execution attribution survives demux: every RequestResult says
+        # which executor kind / worker pid / host / replica served it, so
+        # per-request results join against traces and per-host telemetry.
+        executed_on = (result.stats.get("executed_on")
+                       if isinstance(result.stats, dict) else None)
         for pending, values, alive in zip(live_batch, outputs, live):
             if not alive:
                 continue
@@ -696,29 +744,66 @@ class FheServer:
                 backend=result.backend,
                 backend_time_ms=time_share,
                 signature=group.signature,
-                stats={"time_kind": result.stats.get("time_kind")},
+                stats={"time_kind": result.stats.get("time_kind"),
+                       "executed_on": executed_on,
+                       "trace": pending.request.trace},
             ))
+        demux_done = time.perf_counter()
+        if tr.enabled:
+            tr.record("demux", perf_to_us(done),
+                      (demux_done - done) * 1e6,
+                      traces=[p.request.trace for p in live_batch
+                              if p.request.trace], k=k)
         group.controller.observe_batch(occupancy)
         with self._telemetry_lock:
-            self._batches += 1
-            self._completed += k
-            self._occupancies.append(occupancy)
+            self._batches.inc()
+            self._completed.inc(k)
+            self._occupancies.observe(occupancy)
             self._last_done = done
             group.batches += 1
             group.completed += k
-            group.occupancies.append(occupancy)
+            group.occupancies.observe(occupancy)
             group.batch_sizes[k] = group.batch_sizes.get(k, 0) + 1
             for pending in live_batch:
                 latency = (done - pending.enqueued) * 1e3
                 queued = (started - pending.enqueued) * 1e3
-                self._latencies_ms.append(latency)
-                self._queue_ms.append(queued)
-                group.latencies_ms.append(latency)
-                group.queue_ms.append(queued)
+                self._latencies_ms.observe(latency)
+                self._queue_ms.observe(queued)
+                group.latencies_ms.observe(latency)
+                group.queue_ms.observe(queued)
 
     # -------------------------------------------------------------- telemetry
+    def dump_trace(self, path: str) -> int:
+        """Export recorded spans as Chrome trace-event JSON.
+
+        The file loads in Perfetto (https://ui.perfetto.dev) or
+        ``chrome://tracing``; spans shipped back from worker processes
+        and hosts appear as their own process tracks, joined to the
+        coordinator's by the per-request ``trace`` arg.  Returns the
+        number of spans written.  Requires ``FheServer(trace=True)``.
+        """
+        return tracer().dump(path)
+
+    def metrics_snapshot(self) -> dict:
+        """The fleet-wide merged metrics blob: this server's registry,
+        the process-global registry (kernel timers, in-process executor
+        timings), and the latest blob from every worker process/host."""
+        blobs = getattr(self.executor, "metrics_blobs", lambda: [])()
+        return merge_snapshots(self.metrics.snapshot(),
+                               global_metrics().snapshot(), *blobs)
+
     def stats(self) -> dict:
         """Aggregate serving telemetry since construction.
+
+        Every distribution here is computed from the mergeable metrics
+        registry (``repro.obs.metrics``): the server's own histograms
+        merged with the latest piggybacked blob from every worker
+        process and host, so p50/p99 stay correct under multi-process
+        and multi-host serving.  The full merged blob is under
+        ``"metrics"``; ``"execute_ms"`` is the fleet-wide executor-tier
+        run time (recorded wherever the batch actually ran);
+        ``"kernels"`` is the per-signature hot-kernel breakdown when
+        kernel profiling (``REPRO_OBS_KERNELS=1``) is on.
 
         ``per_signature`` breaks the same occupancy/latency/queue numbers
         down by program signature, each with an exact batch-size
@@ -726,8 +811,8 @@ class FheServer:
         the adaptive controller's inputs, exposed for dashboards.
 
         ``executor`` is the executor tier's own telemetry (see the README
-        telemetry section for the schema): dispatch counters and, for the
-        pool executors, per-worker/per-host breakdowns —
+        observability section for the schema): dispatch counters and, for
+        the pool executors, per-worker/per-host breakdowns —
         ``inflight_per_replica`` on a process pool, and per-host
         ``inflight``/``dispatched``/``reconnects``/``latency_ms`` rows on
         a remote pool.  ``dispatch_ms`` is the server-side wall time of
@@ -736,24 +821,31 @@ class FheServer:
         """
         with self._groups_lock:
             groups = list(self._groups.values())
+        merged = self.metrics_snapshot()
+
+        def _summary(name: str) -> dict:
+            state = merged.get(name)
+            return (summarize_state(state) if state is not None
+                    else {"p50": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0,
+                          "count": 0})
+
         with self._telemetry_lock:
-            latencies = np.asarray(self._latencies_ms)
-            queue = np.asarray(self._queue_ms)
+            completed = self._completed.value
+            batches = self._batches.value
             span = ((self._last_done - self._first_submit)
                     if self._last_done and self._first_submit else 0.0)
             out = {
-                "requests": self._completed,
-                "batches": self._batches,
-                "errors": self._errors,
-                "expired": self._expired,
-                "requests_per_s": self._completed / span if span > 0 else 0.0,
-                "mean_batch_size": (self._completed / self._batches
-                                    if self._batches else 0.0),
-                "mean_occupancy": (float(np.mean(self._occupancies))
-                                   if self._occupancies else 0.0),
-                "latency_ms": _percentiles(latencies),
-                "queue_ms": _percentiles(queue),
-                "dispatch_ms": _percentiles(np.asarray(self._dispatch_ms)),
+                "requests": completed,
+                "batches": batches,
+                "errors": self._errors.value,
+                "expired": self._expired.value,
+                "requests_per_s": completed / span if span > 0 else 0.0,
+                "mean_batch_size": (completed / batches if batches else 0.0),
+                "mean_occupancy": self._occupancies.mean,
+                "latency_ms": _summary("serve.latency_ms"),
+                "queue_ms": _summary("serve.queue_ms"),
+                "dispatch_ms": _summary("serve.dispatch_ms"),
+                "execute_ms": _summary("serve.execute_ms"),
                 "per_signature": {
                     g.signature: {
                         "program": g.program.name,
@@ -761,10 +853,9 @@ class FheServer:
                         "batches": g.batches,
                         "capacity": g.capacity,
                         "batchable": g.batcher is not None,
-                        "mean_occupancy": (float(np.mean(g.occupancies))
-                                           if g.occupancies else 0.0),
-                        "latency_ms": _percentiles(np.asarray(g.latencies_ms)),
-                        "queue_ms": _percentiles(np.asarray(g.queue_ms)),
+                        "mean_occupancy": g.occupancies.mean,
+                        "latency_ms": g.latencies_ms.summary(),
+                        "queue_ms": g.queue_ms.summary(),
                         "batch_size_histogram": dict(sorted(
                             g.batch_sizes.items()
                         )),
@@ -774,17 +865,8 @@ class FheServer:
                     for g in groups if g.completed
                 },
             }
+        out["metrics"] = merged
+        out["kernels"] = kernel_breakdown(merged)
         out["registry"] = self.registry.stats()
         out["executor"] = self.executor.stats()
         return out
-
-
-def _percentiles(values: np.ndarray) -> dict:
-    if values.size == 0:
-        return {"p50": 0.0, "p99": 0.0, "mean": 0.0, "max": 0.0}
-    return {
-        "p50": float(np.percentile(values, 50)),
-        "p99": float(np.percentile(values, 99)),
-        "mean": float(np.mean(values)),
-        "max": float(np.max(values)),
-    }

@@ -23,9 +23,12 @@ Steps, in order:
 — including the multi-threaded serving stress tests — finish in seconds
 instead of minutes.  Both modes additionally run a 2-process executor
 smoke (fresh interpreter, forked worker pool, context replication from
-serialized keys) and a 2-host cluster smoke (worker-host subprocesses
-behind the framed socket transport, replication over the wire) so CI
-always exercises both the process-pool and the network serving paths.
+serialized keys), a 2-host cluster smoke (worker-host subprocesses
+behind the framed socket transport, replication over the wire), and a
+2-host observability smoke (traced requests: span stitching across the
+wire, worker metrics blobs merged into coordinator percentiles, Chrome
+trace-event export) so CI always exercises the process-pool, network,
+and observability serving paths.
 
 Exits non-zero if any step fails, so CI can gate on this single command.
 """
@@ -95,6 +98,15 @@ def main(argv: list[str] | None = None) -> int:
         "cluster smoke",
         [py, "-c", "import sys; from repro.net.cluster import "
                    "cluster_smoke; sys.exit(cluster_smoke(2))"],
+    ))
+    # A 2-host observability smoke: traced requests over the socket
+    # transport, asserting coordinator/worker span stitching, worker
+    # metrics-blob merging into stats() percentiles, and a re-parsable
+    # Chrome trace-event dump.
+    results.append(_step(
+        "obs smoke",
+        [py, "-c", "import sys; from repro.obs import "
+                   "obs_smoke; sys.exit(obs_smoke(2))"],
     ))
     if not (args.fast or args.skip_perf):
         results.append(

@@ -36,7 +36,7 @@ from repro.net import (
     send_msg,
     shard_key,
 )
-from repro.net.framing import HEADER_BYTES, Truncated
+from repro.net.framing import FRAME_VERSION, HEADER_BYTES, Truncated
 from repro.serve import (
     BatchJob,
     FheServer,
@@ -188,7 +188,7 @@ class TestWorkerRobustness:
                 assert "error" in reply
         # The worker survived the fuzz and still answers the handshake.
         with self._raw(cluster) as sock:
-            send_msg(sock, MsgType.HELLO, {"version": 1})
+            send_msg(sock, MsgType.HELLO, {"version": FRAME_VERSION})
             msg_type, reply = recv_msg(sock)
             assert msg_type is MsgType.HELLO
             assert reply["pid"] > 0
