@@ -17,7 +17,8 @@ batching paths: a mixed-level BGV batch and a masked CKKS rotation batch,
 and the network tier: the frame codec round-trip and a full remote batch
 dispatch against a live local worker-host subprocess, plus the
 observability guards: the disabled-tracing span check and a metrics-blob
-histogram merge)
+histogram merge, and the resilience guards: the per-routing-decision
+circuit-breaker check and the retry wrapper's no-fault dispatch overhead)
 and compares each against the recorded baseline in ``BENCH_engine.json``
 next to this script.  A kernel regresses if it is more than ``--tolerance``
 times slower than baseline (generous by default: baselines travel between
@@ -187,6 +188,12 @@ def _kernels():
 
     blob_a, blob_b = _metrics_blob(1), _metrics_blob(2)
 
+    # Resilience hot paths: the per-routing-decision circuit-breaker
+    # check and the per-batch retry-wrapper bookkeeping (deadline math,
+    # breaker peek, one backoff computation) — the no-fault overhead the
+    # resilience tier adds to every dispatch.
+    from repro.serve.resilience import breaker_check_probe, retry_overhead_probe
+
     return {
         "ntt_forward_all_limb": lambda: ctx.forward(limbs),
         "ntt_inverse_all_limb": lambda: ctx.inverse(evals),
@@ -220,6 +227,8 @@ def _kernels():
         "net_dispatch": lambda: net_executor.execute(net_job),
         "obs_span_overhead": lambda: span_overhead_probe(),
         "metrics_histogram_merge": lambda: merge_snapshots(blob_a, blob_b),
+        "resilience_breaker_check": lambda: breaker_check_probe(),
+        "retry_dispatch_overhead": lambda: retry_overhead_probe(),
     }
 
 

@@ -34,12 +34,20 @@ measurement spawns its own fresh cluster, so both sides start cold —
 the ratio isolates what sharding across hosts buys, and remote outputs
 are cross-checked against solo runs exactly like the process mode.
 
+With ``--chaos SEED`` it runs the *resilience* soak instead: the same
+traffic through a fault-injected local cluster
+(:mod:`repro.net.chaos` — seeded drops, corrupt frames, delays, plus a
+worker kill and restart mid-run), asserting the resilience contract:
+zero lost futures, every status in ``{ok, expired, failed, shed}``, and
+every ok result identical to a solo run despite retries and failover.
+
 Run it::
 
     PYTHONPATH=src python -m repro.bench.loadgen
     PYTHONPATH=src python -m repro.bench.loadgen --requests 256 --n 1024
     PYTHONPATH=src python -m repro.bench.loadgen --processes 4
     PYTHONPATH=src python -m repro.bench.loadgen --hosts 2
+    PYTHONPATH=src python -m repro.bench.loadgen --chaos 7
 """
 
 from __future__ import annotations
@@ -576,6 +584,13 @@ def main(argv=None) -> int:
                              "trace-event JSON timeline here (open in "
                              "ui.perfetto.dev); works in every mode, "
                              "including --hosts")
+    parser.add_argument("--chaos", metavar="SEED", type=int, default=None,
+                        help="run the seeded chaos soak instead: loadgen "
+                             "traffic through a fault-injected local "
+                             "cluster (drops, corrupt frames, delays, one "
+                             "worker kill + restart); exits non-zero if "
+                             "any future is lost or any ok result "
+                             "diverges from a solo run")
     args = parser.parse_args(argv)
     if not args.trace:
         return _run(args)
@@ -594,6 +609,16 @@ def main(argv=None) -> int:
 
 
 def _run(args) -> int:
+    if args.chaos is not None:
+        from repro.net.chaos import chaos_soak
+
+        return chaos_soak(
+            seed=args.chaos,
+            hosts=args.hosts or 2,
+            requests=args.requests or 32,
+            n=args.n or 256,
+            width=args.width or 8,
+        )
     if args.hosts:
         report = run_cluster_loadgen(
             hosts=args.hosts,

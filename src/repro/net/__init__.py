@@ -25,8 +25,21 @@ ROADMAP's "multi-host sharded serving" item:
 - :mod:`repro.net.cluster` — :class:`LocalCluster`, a harness that
   spawns N local worker subprocesses so ``FheServer(executor="remote")``
   and the tests/benchmarks work out of the box.
+- :mod:`repro.net.chaos` — the **fault-injection harness**: a seeded
+  :class:`ChaosPolicy` (connection drops, frame corruption, truncation,
+  fixed/heavy-tailed delays, stalled reads, worker crashes/hangs)
+  applied via :class:`ChaosSocket` and the worker's ``--chaos`` flag /
+  ``LocalCluster(chaos=...)``, plus the :func:`chaos_soak` invariant
+  check (zero lost futures, batched == solo on every success).
 """
 
+from repro.net.chaos import (
+    ChaosEngine,
+    ChaosPolicy,
+    ChaosSocket,
+    chaos_smoke,
+    chaos_soak,
+)
 from repro.net.framing import (
     FRAME_VERSION,
     MAX_FRAME_BYTES,
@@ -48,6 +61,9 @@ from repro.net.remote import RemoteExecutor, shard_key
 __all__ = [
     "BadChecksum",
     "BadMagic",
+    "ChaosEngine",
+    "ChaosPolicy",
+    "ChaosSocket",
     "FRAME_VERSION",
     "FrameError",
     "FrameTooLarge",
@@ -57,6 +73,8 @@ __all__ = [
     "PeerClosed",
     "RemoteExecutor",
     "Truncated",
+    "chaos_smoke",
+    "chaos_soak",
     "cluster_smoke",
     "decode_frame",
     "encode_frame",

@@ -47,16 +47,19 @@ def _worker_env() -> dict:
 
 
 def _spawn_worker(port: int, *, processes: int = 0,
-                  startup_timeout: float = 30.0):
+                  startup_timeout: float = 30.0, chaos: str | None = None):
     """Start one worker subprocess; returns ``(popen, (host, port))``.
 
     The worker announces its bound address on stdout (``--port 0`` makes
     the OS pick); we read lines until the announcement appears so callers
-    always get a dialable address back.
+    always get a dialable address back.  ``chaos`` is a
+    ``ChaosPolicy.parse`` spec string forwarded as ``--chaos``.
     """
     cmd = [sys.executable, "-m", "repro.net.worker", "--port", str(port)]
     if processes:
         cmd += ["--processes", str(processes)]
+    if chaos:
+        cmd += ["--chaos", chaos]
     proc = subprocess.Popen(
         cmd, env=_worker_env(), stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT, text=True,
@@ -97,18 +100,30 @@ class LocalCluster:
     """
 
     def __init__(self, hosts: int = 2, *, processes_per_host: int = 0,
-                 startup_timeout: float = 30.0):
+                 startup_timeout: float = 30.0, chaos=None):
         if hosts < 1:
             raise ValueError("hosts must be >= 1")
         self.processes_per_host = processes_per_host
         self.startup_timeout = startup_timeout
+        #: base fault-injection policy (repro.net.chaos.ChaosPolicy) or
+        #: None.  Worker ``i`` runs with seed ``base.seed + i`` so hosts
+        #: fault independently yet the whole cluster's schedule replays
+        #: from the single base seed — including across restart(), which
+        #: re-derives the same per-index seed.
+        self.chaos = None
+        if chaos is not None:
+            from repro.net.chaos import ChaosPolicy
+
+            self.chaos = (ChaosPolicy.parse(chaos) if isinstance(chaos, str)
+                          else chaos)
         self._procs = []
         self._addrs: list[tuple[str, int]] = []
         try:
-            for _ in range(hosts):
+            for i in range(hosts):
                 proc, addr = _spawn_worker(
                     0, processes=processes_per_host,
                     startup_timeout=startup_timeout,
+                    chaos=self._chaos_spec(i),
                 )
                 self._procs.append(proc)
                 self._addrs.append(addr)
@@ -118,6 +133,11 @@ class LocalCluster:
         # Belt and braces: worker subprocesses must never outlive the
         # parent, even when close() is skipped (e.g. a timing harness).
         atexit.register(self.close)
+
+    def _chaos_spec(self, index: int) -> str | None:
+        if self.chaos is None:
+            return None
+        return self.chaos.with_seed(self.chaos.seed + index).spec()
 
     @property
     def addresses(self) -> list[str]:
@@ -153,6 +173,7 @@ class LocalCluster:
                 new_proc, addr = _spawn_worker(
                     port, processes=self.processes_per_host,
                     startup_timeout=self.startup_timeout,
+                    chaos=self._chaos_spec(index),
                 )
                 break
             except RuntimeError:

@@ -38,6 +38,7 @@ import enum
 import pickle
 import struct
 import zlib
+from contextlib import contextmanager
 
 #: bump when the header layout or message vocabulary changes; HELLO
 #: carries it so mismatched peers part cleanly instead of mis-parsing.
@@ -152,6 +153,31 @@ def decode_frame(buffer: bytes, *,
 
 
 # ------------------------------------------------------------------- sockets
+@contextmanager
+def socket_timeout(sock, timeout: float | None):
+    """Temporarily bound a socket's blocking operations.
+
+    The execute-watchdog seam: :class:`~repro.net.remote.RemoteExecutor`
+    wraps each EXECUTE exchange in a timeout derived from the batch's
+    earliest request deadline, so a hung worker raises ``socket.timeout``
+    (an ``OSError`` the transport already treats as host death) instead
+    of stranding a future.  ``None`` leaves the socket untouched; the
+    previous timeout is always restored.
+    """
+    if timeout is None:
+        yield
+        return
+    prev = sock.gettimeout()
+    sock.settimeout(timeout)
+    try:
+        yield
+    finally:
+        try:
+            sock.settimeout(prev)
+        except OSError:
+            pass   # the socket died inside the block; nothing to restore
+
+
 def _recv_exact(sock, count: int, *, at_boundary: bool) -> bytes:
     """Read exactly ``count`` bytes.  EOF at a frame boundary is a clean
     :class:`PeerClosed`; EOF mid-frame is a :class:`Truncated` frame."""

@@ -30,8 +30,27 @@ misses its heartbeat (or fails a send mid-batch) is marked dead: its
 sockets are shut down so in-flight batches fail immediately with a
 distinct error instead of hanging, new traffic routes around it, and
 the monitor keeps dialing until the host returns — at which point its
-replication sets start empty, so everything it needs re-replicates on
-first use.
+replication sets start empty (and its inflight/latency stats reset, so
+least-inflight routing is not skewed by the bounced process), and
+everything it needs re-replicates on first use.
+
+Resilience (PR 9): a failed batch no longer poisons its futures.
+``execute`` retries transport-level failures on surviving hosts with
+capped, deadline-aware exponential backoff + jitter — safe because
+execution is pure and seeds ride the requests, so a re-executed batch
+is bit-identical and *batched == solo* is preserved.  Each EXECUTE
+exchange runs under a watchdog timeout derived from the batch's
+earliest request deadline (a hung worker times out and the batch moves
+on instead of stranding futures); per-host circuit breakers (closed →
+open on consecutive failures → half-open probe via the heartbeat) feed
+the ring walk so routing skips sick hosts before paying a timeout; and
+optional tail-latency hedging re-dispatches a batch to a second host
+when its deadline is about to lapse, first success winning.  When the
+retry budget is spent the typed error chain surfaces as
+:class:`~repro.serve.resilience.RetriesExhausted` (the server resolves
+futures with ``status == "failed"``); when no host is routable at all,
+:class:`~repro.serve.resilience.ExecutorUnavailable` (the server
+degrades to its embedded local fallback).
 """
 
 from __future__ import annotations
@@ -39,6 +58,7 @@ from __future__ import annotations
 import bisect
 import hashlib
 import itertools
+import random
 import socket
 import threading
 import time
@@ -46,7 +66,7 @@ import time
 import numpy as np
 
 from repro.backends import FunctionalBackend, RunResult
-from repro.obs.metrics import Histogram
+from repro.obs.metrics import Histogram, global_metrics
 from repro.obs.trace import tracer
 from repro.net.framing import (
     FRAME_VERSION,
@@ -55,6 +75,7 @@ from repro.net.framing import (
     MsgType,
     recv_msg,
     send_msg,
+    socket_timeout,
 )
 from repro.serve.executor import (
     BatchJob,
@@ -62,6 +83,13 @@ from repro.serve.executor import (
     pick_least_inflight,
 )
 from repro.serve.registry import ContextEntry
+from repro.serve.resilience import (
+    CircuitBreaker,
+    ExecutorUnavailable,
+    HostFailure,
+    RetriesExhausted,
+    RetryPolicy,
+)
 
 #: virtual nodes per host on the consistent-hash ring; enough that the
 #: load split stays near-uniform for small pools.
@@ -115,6 +143,12 @@ class _Host:
         self.dispatched = 0
         self.failed = 0
         self.reconnects = -1      # first connect is not a *re*connect
+        #: bumped on every (re)connect; slots picked against an older
+        #: epoch do not decrement the fresh inflight counter on release
+        self.epoch = 0
+        #: per-host circuit breaker (assigned by the executor, which owns
+        #: the transition telemetry)
+        self.breaker: CircuitBreaker | None = None
         #: round-trip latency distribution (mergeable obs histogram —
         #: the same bucket layout every other layer reports through)
         self.latencies_ms = Histogram()
@@ -168,6 +202,19 @@ class RemoteExecutor:
     ``--processes``).  Backends that do not execute encrypted values
     fall back to an inner :class:`ThreadExecutor`, exactly like the
     process pool.
+
+    Failure policy knobs: ``retry`` is the
+    :class:`~repro.serve.resilience.RetryPolicy` for transport-level
+    batch failures (pass ``RetryPolicy(max_attempts=1)`` to restore the
+    PR 7 fail-fast behavior); ``execute_timeout_s`` is the watchdog for
+    deadline-free batches (deadline-carrying batches derive theirs from
+    the deadline plus ``watchdog_grace_s``); ``hedge_after_s`` enables
+    tail-latency hedging — a batch still in flight that close to its
+    deadline is speculatively re-dispatched to a second host, first
+    success winning (safe: re-execution is bit-identical).
+    ``breaker_failures`` consecutive transport failures open a host's
+    circuit breaker for ``breaker_reset_s``; a successful heartbeat
+    then closes it (the half-open probe).
     """
 
     name = "remote"
@@ -175,7 +222,12 @@ class RemoteExecutor:
     def __init__(self, hosts, *, channels: int = 2,
                  heartbeat_s: float = 0.25, heartbeat_timeout: float = 2.0,
                  connect_timeout: float = 10.0,
-                 max_frame: int = MAX_FRAME_BYTES):
+                 max_frame: int = MAX_FRAME_BYTES,
+                 retry: RetryPolicy | None = None,
+                 execute_timeout_s: float | None = 120.0,
+                 watchdog_grace_s: float = 2.0,
+                 hedge_after_s: float | None = None,
+                 breaker_failures: int = 3, breaker_reset_s: float = 1.0):
         addrs = [_parse_addr(h) for h in hosts]
         if not addrs:
             raise ValueError("at least one worker host is required")
@@ -184,6 +236,16 @@ class RemoteExecutor:
         self.heartbeat_timeout = heartbeat_timeout
         self.connect_timeout = connect_timeout
         self.max_frame = max_frame
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.execute_timeout_s = execute_timeout_s
+        self.watchdog_grace_s = watchdog_grace_s
+        self.hedge_after_s = hedge_after_s
+        self._jitter_rng = random.Random()
+        #: resilience transition counters (also mirrored into the
+        #: process-global metrics registry as net.* counters)
+        self._events_lock = threading.Lock()
+        self._events = {"retries": 0, "hedges": 0, "retry_exhausted": 0,
+                        "breaker_opens": 0, "breaker_closes": 0}
         self._fallback = ThreadExecutor()
         self._guard = threading.Lock()
         self._ctx_keys: dict[int, tuple[int, ContextEntry]] = {}
@@ -193,6 +255,13 @@ class RemoteExecutor:
         self._closed = False
         self._owned_cluster = None   # set by cluster.remote_executor
         self._hosts = [_Host(addr, i) for i, addr in enumerate(addrs)]
+        for host in self._hosts:
+            host.breaker = CircuitBreaker(
+                failure_threshold=breaker_failures,
+                reset_after_s=breaker_reset_s,
+                on_transition=(lambda old, new, h=host:
+                               self._breaker_transition(h, old, new)),
+            )
         ring = []
         for host in self._hosts:
             for v in range(VNODES):
@@ -218,6 +287,22 @@ class RemoteExecutor:
         )
         self._monitor.start()
 
+    # --------------------------------------------------------------- events
+    def _note_event(self, name: str, n: int = 1) -> None:
+        with self._events_lock:
+            self._events[name] += n
+        global_metrics().counter(f"net.{name}").inc(n)
+
+    def _breaker_transition(self, host: _Host, old: str, new: str) -> None:
+        """Breaker state changes feed telemetry: counters + trace events
+        (called from inside the breaker; must not re-enter it)."""
+        if new == CircuitBreaker.OPEN:
+            self._note_event("breaker_opens")
+        elif old == CircuitBreaker.OPEN or new == CircuitBreaker.CLOSED:
+            self._note_event("breaker_closes")
+        tracer().event("breaker", addr=f"{host.addr[0]}:{host.addr[1]}",
+                       old=old, new=new)
+
     # ----------------------------------------------------------- connections
     def _connect_host(self, host: _Host) -> None:
         """(Re)establish every connection to one host; resets its
@@ -236,6 +321,15 @@ class RemoteExecutor:
             host.replicated = {}
             host.dead = False
             host.reconnects += 1
+        with self._guard:
+            # A bounced host is a fresh process: stale inflight counts
+            # and the old process's latency distribution must not skew
+            # least-inflight routing against (or toward) it.  The epoch
+            # bump makes slots picked before the bounce release as
+            # no-ops instead of driving the fresh counter negative.
+            host.epoch += 1
+            host.inflight = 0
+            host.latencies_ms.reset()
 
     def _mark_dead(self, host: _Host) -> None:
         """Route around a host and fail whatever is in flight on it.
@@ -286,12 +380,28 @@ class RemoteExecutor:
                         if metrics is not None:
                             host.metrics = metrics
                         host.remote = reply
+                        # The heartbeat doubles as the breaker's
+                        # half-open probe: once an OPEN breaker ages
+                        # into half-open, the next heartbeat success
+                        # closes it and readmits the host to routing.
+                        # (Execute successes reset the failure count in
+                        # the closed state; heartbeats do not, so they
+                        # cannot mask a host that fails every batch.)
+                        if host.breaker.state == CircuitBreaker.HALF_OPEN:
+                            host.breaker.record_success()
                 except (OSError, FrameError, ConnectionError):
                     self._mark_dead(host)
+                    host.breaker.record_failure()
 
     # -------------------------------------------------------------- routing
     def _candidates(self, key: int) -> list[tuple[int, _Host]]:
-        """Alive hosts in ring-walk order from ``key``: (rank, host)."""
+        """Routable hosts in ring-walk order from ``key``: (rank, host).
+
+        A host is routable when it is alive *and* its circuit breaker
+        admits traffic (closed or half-open) — an open breaker takes a
+        sick-but-connected host out of rotation before anyone pays a
+        timeout on it.
+        """
         start = bisect.bisect_left(self._ring_points, key)
         seen: set[int] = set()
         ordered: list[tuple[int, _Host]] = []
@@ -302,22 +412,32 @@ class RemoteExecutor:
                 continue
             seen.add(idx)
             host = self._hosts[idx]
-            if not host.dead:
+            if not host.dead and host.breaker.would_allow():
                 ordered.append((len(ordered), host))
             if len(seen) == len(self._hosts):
                 break
         return ordered
 
-    def _pick(self, signature: str, entry: ContextEntry) -> tuple[_Host, int]:
+    def _pick(self, signature: str, entry: ContextEntry,
+              exclude: frozenset | set = frozenset(),
+              ) -> tuple[_Host, int, int]:
+        """Pick ``(host, ring rank, epoch)``; ``exclude`` holds indices of
+        hosts that just failed this batch — honored when any other host
+        is routable, ignored otherwise (a lone recovered host is better
+        than none)."""
         with self._guard:
             if self._closed:
                 raise RuntimeError("executor is closed")
             candidates = self._candidates(shard_key(signature, entry.params))
             if not candidates:
-                raise RuntimeError(
-                    "no live worker hosts (all heartbeats failed); "
-                    "batches fail rather than hang until a host returns"
+                raise ExecutorUnavailable(
+                    "no routable worker hosts (dead or breaker-open); "
+                    "batches fail over or degrade rather than hang"
                 )
+            preferred = [(r, h) for r, h in candidates
+                         if h.index not in exclude]
+            if preferred:
+                candidates = preferred
             rank = {id(host): r for r, host in candidates}
             host = pick_least_inflight(
                 [host for _, host in candidates],
@@ -325,11 +445,14 @@ class RemoteExecutor:
             )
             host.inflight += 1
             host.dispatched += 1
-            return host, rank[id(host)]
+            return host, rank[id(host)], host.epoch
 
-    def _release_slot(self, host: _Host) -> None:
+    def _release_slot(self, host: _Host, epoch: int) -> None:
         with self._guard:
-            host.inflight -= 1
+            # Slots from before a reconnect are stale: the fresh process
+            # started with inflight == 0 and owes them nothing.
+            if host.epoch == epoch and host.inflight > 0:
+                host.inflight -= 1
 
     # ---------------------------------------------------------- replication
     def _ctx_key(self, entry: ContextEntry) -> int:
@@ -357,17 +480,38 @@ class RemoteExecutor:
             reply_type, reply = recv_msg(channel.sock,
                                          max_frame=self.max_frame)
         except (OSError, FrameError, ConnectionError) as exc:
+            # Transport failure (death, watchdog timeout, stream
+            # desync): typed as retryable — the batch fails over to a
+            # survivor instead of failing its futures.
             self._mark_dead(host)
+            host.breaker.record_failure()
             with self._guard:
                 host.failed += 1
-            raise RuntimeError(
+            failure = HostFailure(
                 f"worker host {host.addr[0]}:{host.addr[1]} died mid-call "
-                f"({type(exc).__name__}: {exc}); the batch fails and the "
-                f"host will be redialed"
-            ) from None
+                f"({type(exc).__name__}: {exc}); the batch fails over and "
+                f"the host will be redialed"
+            )
+            failure.host_index = host.index
+            raise failure from None
         if reply_type is MsgType.ERROR:
             if reply.get("fatal"):
+                # Framing violations desynchronize the stream — the
+                # host is healthy-ish but this connection set is not;
+                # treat like a transport failure so the batch retries.
                 self._mark_dead(host)
+                host.breaker.record_failure()
+                with self._guard:
+                    host.failed += 1
+                failure = HostFailure(
+                    f"worker host {host.addr[0]}:{host.addr[1]} rejected "
+                    f"the stream: {reply.get('error')}"
+                )
+                failure.host_index = host.index
+                raise failure
+            # Non-fatal ERROR = remote execution error: deterministic
+            # (execution is pure), so retrying elsewhere would fail
+            # identically — surface it without retry.
             raise RuntimeError(
                 f"worker host {host.addr[0]}:{host.addr[1]} failed: "
                 f"{reply.get('error')}\n{reply.get('traceback', '')}"
@@ -385,7 +529,9 @@ class RemoteExecutor:
         """
         with host.state_lock:
             if host.dead:
-                raise RuntimeError(f"worker host {host.addr} is down")
+                failure = HostFailure(f"worker host {host.addr} is down")
+                failure.host_index = host.index
+                raise failure
             event = host.replicated.get((tag, key))
             owner = event is None
             if owner:
@@ -402,9 +548,11 @@ class RemoteExecutor:
                 raise
             event.set()
         elif not event.wait(timeout=60.0):
-            raise RuntimeError(
+            failure = HostFailure(
                 f"timed out waiting for replication to {host.addr}"
             )
+            failure.host_index = host.index
+            raise failure
         elif (tag, key) not in host.replicated:
             # The owner failed after we started waiting; one retry ships
             # it ourselves (recursion depth is bounded by the retry).
@@ -439,27 +587,46 @@ class RemoteExecutor:
         return key
 
     # ---------------------------------------------------------------- public
-    def execute(self, job: BatchJob) -> tuple[list[dict], RunResult]:
-        backend = job.backend
-        if not isinstance(backend, FunctionalBackend) or job.context_entry is None:
-            return self._fallback.execute(job)
-        key = self._ctx_key(job.context_entry)
-        backend_key = self._backend_key(backend)
-        host, _rank = self._pick(job.signature, job.context_entry)
+    def _watchdog_s(self, deadline: float | None) -> float | None:
+        """Per-exchange timeout: the batch's remaining deadline budget
+        plus grace, or the flat ``execute_timeout_s`` with no deadline.
+        A hung worker times out (an ``OSError``, so the normal mark-dead
+        + retry path runs) instead of stranding the batch's futures."""
+        if deadline is None:
+            return self.execute_timeout_s
+        return max(deadline - time.perf_counter(), 0.05) + self.watchdog_grace_s
+
+    def _attempt(self, job: BatchJob, key: int, backend_key: int,
+                 deadline: float | None,
+                 exclude: frozenset | set = frozenset(),
+                 chosen: list | None = None) -> tuple[list[dict], RunResult]:
+        """One dispatch attempt on one host (raises HostFailure /
+        ExecutorUnavailable for retryable conditions)."""
+        host, _rank, epoch = self._pick(job.signature, job.context_entry,
+                                        exclude=exclude)
+        if chosen is not None:
+            chosen.append(host.index)
         start = time.perf_counter()
         try:
-            channel = host.next_channel()
+            try:
+                channel = host.next_channel()
+            except RuntimeError as exc:
+                failure = HostFailure(str(exc))
+                failure.host_index = host.index
+                raise failure from None
             with channel.lock:
-                key = self._ensure_replicated(host, channel, job, key,
-                                              backend_key)
-                reply = self._call(host, channel, MsgType.EXECUTE, {
-                    "ctx": key, "program": job.signature,
-                    "backend": backend_key,
-                    "batched": job.batcher is not None,
-                    "requests": [(r.inputs, r.plains, r.seed, r.level,
-                                  getattr(r, "trace", None))
-                                 for r in job.requests],
-                })
+                with socket_timeout(channel.sock, self._watchdog_s(deadline)):
+                    key = self._ensure_replicated(host, channel, job, key,
+                                                  backend_key)
+                    reply = self._call(host, channel, MsgType.EXECUTE, {
+                        "ctx": key, "program": job.signature,
+                        "backend": backend_key,
+                        "batched": job.batcher is not None,
+                        "requests": [(r.inputs, r.plains, r.seed, r.level,
+                                      getattr(r, "trace", None))
+                                     for r in job.requests],
+                    })
+            host.breaker.record_success()
             host.latencies_ms.observe((time.perf_counter() - start) * 1e3)
             # Fold the host's observability payload into the coordinator:
             # spans it captured for traced requests, its cumulative
@@ -478,7 +645,117 @@ class RemoteExecutor:
                 }
             return reply["outputs"], result
         finally:
-            self._release_slot(host)
+            self._release_slot(host, epoch)
+
+    def _hedged_attempt(self, job: BatchJob, key: int, backend_key: int,
+                        deadline: float,
+                        exclude: frozenset | set = frozenset(),
+                        ) -> tuple[list[dict], RunResult]:
+        """Primary attempt plus a speculative second dispatch when the
+        deadline is about to lapse; first success wins.
+
+        Safe because execution is pure and seeds ride the requests: both
+        attempts produce bit-identical outputs, so whichever lands first
+        is *the* answer and the loser is discarded.
+        """
+        done = threading.Event()
+        lock = threading.Lock()
+        box: dict = {"result": None, "errors": [], "pending": 1}
+        primary_hosts: list[int] = []
+
+        def run(excl, chosen):
+            try:
+                out = self._attempt(job, key, backend_key, deadline,
+                                    exclude=excl, chosen=chosen)
+                with lock:
+                    if box["result"] is None:
+                        box["result"] = out
+                done.set()
+            except Exception as exc:  # noqa: BLE001 — tallied below
+                with lock:
+                    box["errors"].append(exc)
+                    box["pending"] -= 1
+                    if box["pending"] == 0:
+                        done.set()
+
+        threading.Thread(target=run, args=(exclude, primary_hosts),
+                         name="remote-executor-primary",
+                         daemon=True).start()
+        # Fire the hedge ``hedge_after_s`` before the deadline (or at
+        # once if the budget is already inside that window).
+        fire_in = max(0.0, (deadline - self.hedge_after_s)
+                      - time.perf_counter())
+        if not done.wait(timeout=fire_in):
+            with lock:
+                still_running = box["pending"] > 0 and box["result"] is None
+                if still_running:
+                    box["pending"] += 1
+            if still_running:
+                self._note_event("hedges")
+                tracer().event("hedge", signature=job.signature[:16],
+                               k=len(job.requests))
+                hedge_exclude = set(exclude) | set(primary_hosts)
+                threading.Thread(target=run, args=(hedge_exclude, None),
+                                 name="remote-executor-hedge",
+                                 daemon=True).start()
+        # Both attempts run under the deadline-derived watchdog, so this
+        # wait is bounded by deadline + grace (plus scheduling noise).
+        done.wait()
+        with lock:
+            if box["result"] is not None:
+                return box["result"]
+            errors = list(box["errors"])
+        # Every started attempt failed; surface the most recent failure
+        # to the outer retry loop (hedging never swallows the chain).
+        raise errors[-1]
+
+    def execute(self, job: BatchJob) -> tuple[list[dict], RunResult]:
+        backend = job.backend
+        if not isinstance(backend, FunctionalBackend) or job.context_entry is None:
+            return self._fallback.execute(job)
+        key = self._ctx_key(job.context_entry)
+        backend_key = self._backend_key(backend)
+        deadline = job.deadline
+        failures = 0
+        causes: list[BaseException] = []
+        exclude: set[int] = set()
+        while True:
+            try:
+                if (self.hedge_after_s is not None and deadline is not None
+                        and sum(1 for h in self._hosts if not h.dead) > 1):
+                    return self._hedged_attempt(job, key, backend_key,
+                                                deadline, exclude=exclude)
+                return self._attempt(job, key, backend_key, deadline,
+                                     exclude=exclude)
+            except (HostFailure, ExecutorUnavailable) as exc:
+                causes.append(exc)
+                failures += 1
+                failed_host = getattr(exc, "host_index", None)
+                if failed_host is not None:
+                    # Prefer a different host on the next attempt (soft:
+                    # _pick ignores the exclusion when it would leave no
+                    # candidate, so a lone restarted host still serves).
+                    exclude = {failed_host}
+                remaining = (None if deadline is None
+                             else deadline - time.perf_counter())
+                delay = self.retry.backoff_s(failures, rng=self._jitter_rng,
+                                             remaining_s=remaining)
+                if delay is None:
+                    self._note_event("retry_exhausted")
+                    if isinstance(exc, ExecutorUnavailable):
+                        # Nothing routable at all: let the server degrade
+                        # to its embedded local fallback.
+                        raise
+                    raise RetriesExhausted(
+                        f"batch for {job.signature[:16]} failed "
+                        f"{failures} attempt(s); last: {exc}",
+                        causes=causes,
+                    ) from exc
+                self._note_event("retries")
+                tracer().event("retry", signature=job.signature[:16],
+                               attempt=failures, delay_ms=delay * 1e3,
+                               error=type(exc).__name__)
+                time.sleep(delay)
 
     def release(self, entry: ContextEntry) -> None:
         """Unpin a replicated entry and evict it from every live host.
@@ -552,6 +829,7 @@ class RemoteExecutor:
                 hosts.append({
                     "addr": f"{host.addr[0]}:{host.addr[1]}",
                     "alive": not host.dead,
+                    "breaker": host.breaker.state,
                     "inflight": host.inflight,
                     "dispatched": host.dispatched,
                     "failed": host.failed,
@@ -559,13 +837,23 @@ class RemoteExecutor:
                     "latency_ms": host.latencies_ms.summary(),
                     "remote": dict(host.remote),
                 })
-            return {
+            out = {
                 "executor": self.name,
                 "hosts": hosts,
                 "dispatched": sum(h.dispatched for h in self._hosts),
                 "reconnects": sum(max(h.reconnects, 0) for h in self._hosts),
                 "fallback": self._fallback.stats(),
             }
+        with self._events_lock:
+            out["resilience"] = dict(self._events)
+        return out
+
+    def healthy(self) -> bool:
+        """True when at least one host is routable (alive with a closed
+        or half-open breaker).  The server consults this while degraded
+        to decide when to hand traffic back to the remote pool."""
+        return any(not h.dead and h.breaker.would_allow()
+                   for h in self._hosts)
 
     def metrics_blobs(self) -> list[dict]:
         """Latest metrics snapshot from each worker host (piggybacked on

@@ -82,11 +82,15 @@ class WorkerHost:
 
     def __init__(self, *, processes: int = 0,
                  max_frame: int = MAX_FRAME_BYTES,
-                 log=None):
+                 log=None, chaos=None):
         self.max_frame = max_frame
         self.executor = (ProcessExecutor(processes) if processes
                          else ThreadExecutor())
         self.log = log if log is not None else get_logger("repro.net.worker")
+        #: fault-injection engine (repro.net.chaos) or None; EXECUTE
+        #: handlers consult it for crash/hang faults, serve() wraps
+        #: accepted connections for the byte-level ones.
+        self.chaos = chaos
         self._guard = threading.Lock()
         self._entries: dict[int, ContextEntry] = {}
         #: signature -> (program, batcher or None for unbatchable traffic)
@@ -162,6 +166,10 @@ class WorkerHost:
         return MsgType.RESULT, {"ok": True}
 
     def _handle_execute(self, msg: dict) -> tuple[MsgType, dict]:
+        if self.chaos is not None:
+            # Worker-level chaos: crash (hard exit — the kill-a-worker
+            # scenario) or hang (sleep past the coordinator's watchdog).
+            self.chaos.apply_execute_fault()
         with self._guard:
             entry = self._entries[msg["ctx"]]
             program, batcher = self._programs[msg["program"]]
@@ -226,6 +234,10 @@ class WorkerHost:
         ``ERROR`` reply and the connection closes, because the byte
         stream cannot be trusted to resynchronize.
         """
+        try:
+            peer = "%s:%s" % conn.getpeername()[:2]
+        except OSError:
+            peer = "unknown"
         with conn:
             while True:
                 try:
@@ -233,7 +245,11 @@ class WorkerHost:
                 except PeerClosed:
                     return
                 except FrameError as exc:
-                    self.log.error("framing_violation",
+                    # Peer address + typed fault class make chaos runs
+                    # diagnosable from stderr alone: which link misbehaved
+                    # and how (BadChecksum vs Truncated vs ...).
+                    self.log.error("framing_violation", peer=peer,
+                                   fault=type(exc).__name__,
                                    error=f"{type(exc).__name__}: {exc}")
                     try:
                         send_msg(conn, MsgType.ERROR, {
@@ -282,30 +298,48 @@ class WorkerHost:
 
 
 def serve(host: str = "127.0.0.1", port: int = 0, *, processes: int = 0,
-          max_frame: int = MAX_FRAME_BYTES, ready=None) -> None:
+          max_frame: int = MAX_FRAME_BYTES, ready=None, chaos=None) -> None:
     """Bind, announce, and serve connections until interrupted.
 
     ``ready``, if given, is called with the bound ``(host, port)`` once
-    the socket is listening (test hook).
+    the socket is listening (test hook).  ``chaos`` is an optional
+    fault-injection spec — a :class:`~repro.net.chaos.ChaosPolicy`, a
+    ``ChaosPolicy.parse`` string, or a prebuilt engine — applied to every
+    accepted connection (byte-level faults) and to EXECUTE handling
+    (crash/hang faults); the same seed replays the same fault schedule.
     """
+    engine = None
+    if chaos is not None:
+        from repro.net.chaos import ChaosEngine, ChaosPolicy, ChaosSocket
+
+        if isinstance(chaos, ChaosEngine):
+            engine = chaos
+        elif isinstance(chaos, str):
+            engine = ChaosEngine(ChaosPolicy.parse(chaos))
+        else:
+            engine = ChaosEngine(chaos)
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     listener.bind((host, port))
     listener.listen(32)
     bound = listener.getsockname()
     log = get_logger("repro.net.worker", host=bound[0], port=bound[1])
-    worker = WorkerHost(processes=processes, max_frame=max_frame, log=log)
+    worker = WorkerHost(processes=processes, max_frame=max_frame, log=log,
+                        chaos=engine)
     tracer().set_label(f"worker {bound[0]}:{bound[1]}")
     # This stdout banner is machine-read by LocalCluster to discover
     # auto-assigned ports — it must stay on stdout, exactly this shape.
     print(f"repro.net.worker listening on {bound[0]}:{bound[1]}", flush=True)
-    log.info("listening", pid=os.getpid(), processes=processes)
+    log.info("listening", pid=os.getpid(), processes=processes,
+             chaos=engine.policy.spec() if engine is not None else None)
     if ready is not None:
         ready(bound)
     try:
         while True:
             conn, _ = listener.accept()
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            if engine is not None:
+                conn = ChaosSocket(conn, engine)
             threading.Thread(
                 target=worker.serve_connection, args=(conn,),
                 name="net-worker-conn", daemon=True,
@@ -331,9 +365,13 @@ def main(argv=None) -> int:
                              "this many worker processes (0 = in-process)")
     parser.add_argument("--max-frame", type=int, default=MAX_FRAME_BYTES,
                         help="per-frame payload cap in bytes")
+    parser.add_argument("--chaos", default=None, metavar="SPEC",
+                        help="fault-injection spec, e.g. "
+                             "'seed=7,drop=0.05,delay=0.2' (see "
+                             "repro.net.chaos.ChaosPolicy.parse)")
     args = parser.parse_args(argv)
     serve(args.host, args.port, processes=args.processes,
-          max_frame=args.max_frame)
+          max_frame=args.max_frame, chaos=args.chaos)
     return 0
 
 

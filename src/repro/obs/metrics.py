@@ -114,6 +114,16 @@ class Histogram:
         if value > self.vmax:
             self.vmax = value
 
+    def reset(self) -> None:
+        """Forget every observation (e.g. a host's latency history after
+        a reconnect: a bounced host's new process shares nothing with the
+        distribution its predecessor produced)."""
+        self.counts[:] = 0
+        self.count = 0
+        self.total = 0.0
+        self.vmin = math.inf
+        self.vmax = -math.inf
+
     def percentile(self, q: float) -> float:
         """Value at quantile ``q`` in [0, 100], from bucket midpoints."""
         if self.count == 0:

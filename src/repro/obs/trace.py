@@ -102,6 +102,18 @@ class Tracer:
             with self._lock:
                 self._ring.append(span)
 
+    def event(self, name: str, **args: Any) -> None:
+        """Record an instantaneous (zero-duration) span at "now".
+
+        The resilience tier marks its state transitions this way —
+        ``retry``, ``hedge``, ``breaker_open``/``breaker_close``,
+        ``shed``, ``degrade`` — so a chaos run's timeline shows *when*
+        each recovery action fired between the request spans.  No-op
+        unless recording.
+        """
+        if self.active:
+            self.record(name, _now_us(), 0.0, **args)
+
     @contextmanager
     def span(self, name: str, **args: Any):
         """Record ``name`` around the block; no-op when not recording."""

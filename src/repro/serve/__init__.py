@@ -45,9 +45,20 @@ from repro.serve.executor import (
     resolve_executor,
 )
 from repro.serve.registry import CompiledEntry, ContextEntry, ProgramRegistry
+from repro.serve.resilience import (
+    CircuitBreaker,
+    ExecutorUnavailable,
+    HostFailure,
+    LoadShedder,
+    ResilienceError,
+    RetriesExhausted,
+    RetryPolicy,
+)
 from repro.serve.server import (
     STATUS_EXPIRED,
+    STATUS_FAILED,
     STATUS_OK,
+    STATUS_SHED,
     FheServer,
     RequestResult,
 )
@@ -55,16 +66,25 @@ from repro.serve.server import (
 __all__ = [
     "BatchJob",
     "BatchUnsupported",
+    "CircuitBreaker",
     "CompiledEntry",
     "ContextEntry",
     "Executor",
+    "ExecutorUnavailable",
     "FheServer",
+    "HostFailure",
+    "LoadShedder",
     "ProcessExecutor",
     "ProgramRegistry",
     "Request",
     "RequestResult",
+    "ResilienceError",
+    "RetriesExhausted",
+    "RetryPolicy",
     "STATUS_EXPIRED",
+    "STATUS_FAILED",
     "STATUS_OK",
+    "STATUS_SHED",
     "SlotBatcher",
     "ThreadExecutor",
     "resolve_executor",

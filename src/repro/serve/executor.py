@@ -79,6 +79,10 @@ class BatchJob:
     backend: object
     context_entry: ContextEntry | None = None
     compiled_entry: CompiledEntry | None = None
+    #: earliest absolute request deadline in the batch (perf_counter
+    #: seconds), or None.  Executors with a retry path derive their
+    #: per-batch execute watchdog and backoff budget from it.
+    deadline: float | None = None
 
 
 @runtime_checkable

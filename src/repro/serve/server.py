@@ -85,21 +85,34 @@ from repro.serve.executor import (
     resolve_executor,
 )
 from repro.serve.registry import ProgramRegistry
+from repro.serve.resilience import (
+    ExecutorUnavailable,
+    LoadShedder,
+    RetriesExhausted,
+)
 
-#: :attr:`RequestResult.status` values
+#: :attr:`RequestResult.status` values — the complete vocabulary; every
+#: submitted Future resolves with exactly one of these (or an exception
+#: for in-process/application errors).
 STATUS_OK = "ok"
 STATUS_EXPIRED = "expired"
+STATUS_FAILED = "failed"
+STATUS_SHED = "shed"
 
 
 @dataclass
 class RequestResult:
     """What serving one request produced, with per-request accounting.
 
-    ``status`` is :data:`STATUS_OK` for a served request and
+    ``status`` is :data:`STATUS_OK` for a served request;
     :data:`STATUS_EXPIRED` for one whose ``deadline_ms`` lapsed before a
-    batch could run it — expired requests resolve their Future with this
-    distinct status (``values`` empty) rather than an exception, and never
-    occupy a batch slot.
+    batch could run it; :data:`STATUS_FAILED` for one whose batch
+    exhausted its transport-level retries (the typed error chain is in
+    ``stats``); :data:`STATUS_SHED` for one refused at submit because the
+    queue could not meet its deadline.  All three non-ok statuses resolve
+    the Future with this distinct status (``values`` empty) rather than
+    an exception — an exception on the Future means an in-process or
+    application error, which is deterministic and never retried.
     """
 
     values: dict[int, np.ndarray]
@@ -305,7 +318,7 @@ class FheServer:
                  max_batch: int | None = None, max_wait_ms: float = 10.0,
                  queue_depth: int = 128, seed: int = 0,
                  executor: Executor | str = "thread",
-                 trace: bool = False):
+                 trace: bool = False, degrade: bool = True):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if trace:
@@ -365,6 +378,19 @@ class FheServer:
         self._batches = self.metrics.counter("serve.batches")
         self._errors = self.metrics.counter("serve.errors")
         self._expired = self.metrics.counter("serve.expired")
+        self._failed = self.metrics.counter("serve.failed")
+        self._shed = self.metrics.counter("serve.shed")
+        self._degradations = self.metrics.counter("serve.degradations")
+        # Graceful degradation: when a remote executor reports every host
+        # unroutable (ExecutorUnavailable), batches run on an embedded
+        # ThreadExecutor fallback until a heartbeat probe revives a host.
+        self.degrade = degrade
+        self._degraded = False
+        self._degrade_lock = threading.Lock()
+        self._fallback: Executor | None = None
+        # Submit-time load shedding: EWMA of per-request service time x
+        # queue depth vs the request's deadline budget.
+        self._shedder = LoadShedder(workers=workers)
         self._first_submit: float | None = None
         self._last_done: float | None = None
         self._workers = [
@@ -435,8 +461,15 @@ class FheServer:
             # Unbatchable programs still honor arrival levels — served
             # solo with the same graph lowering a batch would apply.
             check_request_level(group.level_plan, level)
+        if (deadline_ms is not None
+                and self._shedder.should_shed(deadline_ms / 1e3)):
+            # The queue's observed service rate cannot meet this budget:
+            # refuse now (cheap, honest) rather than admit work that will
+            # expire after consuming a batch slot's worth of queueing.
+            return self._shed_request(group, deadline_ms)
         future: Future = Future()
         self._admission.acquire()
+        self._shedder.admitted()
         now = time.perf_counter()
         with self._telemetry_lock:
             if self._first_submit is None:
@@ -466,6 +499,7 @@ class FheServer:
                     ready = group.take_batch()
         except Exception:
             self._admission.release()
+            self._shedder.resolved()
             raise
         if tr.enabled:
             # Admission span: validation + layout checks + enqueue.
@@ -525,6 +559,8 @@ class FheServer:
         self._flusher.join()
         if self._own_executor:
             self.executor.close()
+        if self._fallback is not None:
+            self._fallback.close()
 
     def __enter__(self) -> "FheServer":
         return self
@@ -565,6 +601,32 @@ class FheServer:
                                metrics=self.metrics)
                 self._groups[signature] = group
             return group
+
+    def _shed_request(self, group: _Group, deadline_ms: float) -> Future:
+        """Resolve a refused submit immediately with ``status="shed"``."""
+        with self._telemetry_lock:
+            self._shed.inc()
+        tracer().event("shed", signature=group.signature[:16],
+                       deadline_ms=deadline_ms,
+                       estimated_wait_ms=self._shedder.estimated_wait_s() * 1e3)
+        future: Future = Future()
+        future.set_running_or_notify_cancel()
+        future.set_result(RequestResult(
+            values={},
+            latency_ms=0.0,
+            queue_ms=0.0,
+            batch_size=0,
+            batch_occupancy=0.0,
+            cache_hit=False,
+            backend=getattr(self.backend, "name", str(self.backend)),
+            backend_time_ms=None,
+            signature=group.signature,
+            status=STATUS_SHED,
+            stats={"estimated_wait_ms":
+                   self._shedder.estimated_wait_s() * 1e3,
+                   "deadline_ms": deadline_ms},
+        ))
+        return future
 
     def _dispatch(self, group: _Group, batch: list[_Pending]) -> None:
         # Jobs carry their batch's best urgency: when workers are saturated
@@ -625,6 +687,12 @@ class FheServer:
                 _, group, batch = self._jobs.pop(next_idx)
             try:
                 self._execute(group, batch)
+            except (RetriesExhausted, ExecutorUnavailable) as exc:
+                # Transport-level exhaustion: the batch was retried (or no
+                # host was routable and degradation is off).  These resolve
+                # with the distinct "failed" status — the inputs were fine,
+                # the fleet was not — carrying the typed error chain.
+                self._fail_batch(group, batch, exc)
             except Exception as exc:  # noqa: BLE001 — delivered to futures
                 with self._telemetry_lock:
                     self._errors.inc(len(batch))
@@ -632,6 +700,7 @@ class FheServer:
                     if not pending.future.done():
                         pending.future.set_exception(exc)
             finally:
+                self._shedder.resolved(len(batch))
                 for _ in batch:
                     self._admission.release()
 
@@ -643,6 +712,11 @@ class FheServer:
         job = BatchJob(
             program=program, signature=group.signature, requests=requests,
             batcher=group.batcher, backend=self.backend,
+            # The earliest live deadline rides the job so a remote
+            # executor can bound its per-attempt watchdog and its retry
+            # backoff by the real budget.
+            deadline=min((p.deadline for p in batch
+                          if p.deadline is not None), default=None),
         )
         hit = False
         if isinstance(self.backend, FunctionalBackend):
@@ -665,16 +739,99 @@ class FheServer:
             )
         tr = tracer()
         dispatch_start = time.perf_counter()
-        outputs, result = self.executor.execute(job)
+        executor = self.executor
+        was_degraded = self._degraded
+        if was_degraded and not getattr(executor, "healthy", lambda: True)():
+            # Still degraded and the remote tier reports nothing routable:
+            # go straight to the embedded fallback rather than paying a
+            # guaranteed-to-fail dispatch per batch.
+            executor = self._fallback_executor()
+        try:
+            outputs, result = executor.execute(job)
+        except ExecutorUnavailable:
+            if not self.degrade:
+                raise
+            # Every host dead or breaker-open: degrade to embedded local
+            # execution.  Correctness is unchanged (execution is pure and
+            # per-request seeds ride the requests); only the isolation/
+            # parallelism of the remote tier is lost, which stats()
+            # surfaces via ``degraded``.
+            executor = self._fallback_executor()
+            self._set_degraded(True)
+            outputs, result = executor.execute(job)
+        else:
+            if was_degraded and executor is self.executor:
+                # A remote batch succeeded again: recovery.
+                self._set_degraded(False)
         dispatch_end = time.perf_counter()
         if tr.enabled:
             tr.record("dispatch", perf_to_us(dispatch_start),
                       (dispatch_end - dispatch_start) * 1e6,
                       traces=[r.trace for r in requests if r.trace],
-                      executor=self.executor.name, k=len(requests))
+                      executor=executor.name, k=len(requests))
         with self._telemetry_lock:
             self._dispatch_ms.observe((dispatch_end - dispatch_start) * 1e3)
+        self._shedder.observe_batch(dispatch_end - dispatch_start,
+                                    len(requests))
         return outputs, result, hit
+
+    def _fallback_executor(self) -> Executor:
+        """The lazily-built embedded executor degraded batches run on."""
+        with self._degrade_lock:
+            if self._fallback is None:
+                from repro.serve.executor import ThreadExecutor
+
+                self._fallback = ThreadExecutor()
+            return self._fallback
+
+    def _set_degraded(self, flag: bool) -> None:
+        with self._telemetry_lock:
+            if flag == self._degraded:
+                return
+            self._degraded = flag
+            if flag:
+                self._degradations.inc()
+        tracer().event("degrade" if flag else "recover",
+                       executor=self.executor.name)
+
+    def _fail_batch(self, group: _Group, batch: list[_Pending],
+                    exc: Exception) -> None:
+        """Resolve a transport-exhausted batch with ``status="failed"``.
+
+        Futures already resolved (expired ride-alongs) are skipped; the
+        rest carry the typed error chain in ``stats`` — no future is ever
+        left pending.
+        """
+        now = time.perf_counter()
+        causes = [f"{type(c).__name__}: {c}"
+                  for c in getattr(exc, "causes", [])]
+        tracer().event("batch_failed", signature=group.signature[:16],
+                       error=f"{type(exc).__name__}: {exc}",
+                       attempts=len(causes) or 1)
+        delivered = 0
+        for pending in batch:
+            if pending.future.done():
+                continue
+            if (not pending.future.running()
+                    and not pending.future.set_running_or_notify_cancel()):
+                continue
+            pending.future.set_result(RequestResult(
+                values={},
+                latency_ms=(now - pending.enqueued) * 1e3,
+                queue_ms=(now - pending.enqueued) * 1e3,
+                batch_size=0,
+                batch_occupancy=0.0,
+                cache_hit=False,
+                backend=getattr(self.backend, "name", str(self.backend)),
+                backend_time_ms=None,
+                signature=group.signature,
+                status=STATUS_FAILED,
+                stats={"error": f"{type(exc).__name__}: {exc}",
+                       "causes": causes},
+            ))
+            delivered += 1
+        with self._telemetry_lock:
+            self._failed.inc(delivered)
 
     def _expire(self, group: _Group, pending: _Pending, now: float) -> None:
         """Resolve one past-deadline request with the distinct status."""
@@ -839,6 +996,10 @@ class FheServer:
                 "batches": batches,
                 "errors": self._errors.value,
                 "expired": self._expired.value,
+                "failed": self._failed.value,
+                "shed": self._shed.value,
+                "degraded": self._degraded,
+                "degradations": self._degradations.value,
                 "requests_per_s": completed / span if span > 0 else 0.0,
                 "mean_batch_size": (completed / batches if batches else 0.0),
                 "mean_occupancy": self._occupancies.mean,

@@ -24,11 +24,13 @@ Steps, in order:
 instead of minutes.  Both modes additionally run a 2-process executor
 smoke (fresh interpreter, forked worker pool, context replication from
 serialized keys), a 2-host cluster smoke (worker-host subprocesses
-behind the framed socket transport, replication over the wire), and a
+behind the framed socket transport, replication over the wire), a
 2-host observability smoke (traced requests: span stitching across the
 wire, worker metrics blobs merged into coordinator percentiles, Chrome
-trace-event export) so CI always exercises the process-pool, network,
-and observability serving paths.
+trace-event export), and a 2-host chaos smoke (seeded drop/corrupt/delay
+injection with a worker kill mid-run: zero lost futures, every ok result
+solo-identical) so CI always exercises the process-pool, network,
+observability, and resilience serving paths.
 
 Exits non-zero if any step fails, so CI can gate on this single command.
 """
@@ -107,6 +109,15 @@ def main(argv: list[str] | None = None) -> int:
         "obs smoke",
         [py, "-c", "import sys; from repro.obs import "
                    "obs_smoke; sys.exit(obs_smoke(2))"],
+    ))
+    # A 2-host chaos smoke: seeded drop/corrupt/delay injection plus one
+    # worker kill mid-run; asserts the resilience contract — zero lost
+    # futures, every status in {ok, expired, failed, shed}, and every ok
+    # result matching an isolated solo run.
+    results.append(_step(
+        "chaos smoke",
+        [py, "-c", "import sys; from repro.net.chaos import "
+                   "chaos_smoke; sys.exit(chaos_smoke(2))"],
     ))
     if not (args.fast or args.skip_perf):
         results.append(

@@ -1,0 +1,521 @@
+"""Resilience tier: retry/backoff, breakers, shedding, chaos, degradation.
+
+The contract under test, end to end: **no future is ever lost**.  Every
+submitted request resolves with a status in ``{ok, expired, failed,
+shed}`` (or an exception for deterministic application errors), within
+its deadline plus the watchdog budget — under transport faults, worker
+kills, and overload.  Retrying a batch elsewhere is safe because
+execution is pure and seeded, so every ``ok`` result stays identical to
+a solo run.
+
+Unit tests drive the state machines with fake clocks and seeded RNGs
+(no sleeping); integration tests use a real LocalCluster; the full
+seeded soak (kill + restart under drop/corrupt/delay injection) is
+``@slow``.
+"""
+
+import pickle
+import socket
+import time
+import types
+
+import numpy as np
+import pytest
+
+from repro.backends import FunctionalBackend
+from repro.dsl.program import Program
+from repro.net import LocalCluster
+from repro.net.chaos import ChaosEngine, ChaosPolicy, ChaosSocket, chaos_soak
+from repro.net.framing import FrameError, MsgType, recv_msg, send_msg
+from repro.serve import (
+    BatchJob,
+    CircuitBreaker,
+    FheServer,
+    LoadShedder,
+    ProgramRegistry,
+    Request,
+    RetryPolicy,
+    SlotBatcher,
+    STATUS_FAILED,
+    STATUS_SHED,
+)
+
+N = 256
+WIDTH = 8
+
+
+def linear_bgv(n=N, level=3):
+    p = Program(n=n, scheme="bgv", name="res_linear")
+    x = p.input(level, name="x")
+    w = p.input_plain(level, name="w")
+    p.output(p.mul_plain(x, w))
+    return p
+
+
+def bgv_job(registry, count=4, *, seed=0):
+    program = linear_bgv()
+    x, w = (op.op_id for op in program.ops[:2])
+    rng = np.random.default_rng(seed)
+    shared_w = rng.integers(0, 256, WIDTH)
+    requests = [Request(inputs={x: rng.integers(0, 256, WIDTH)},
+                        plains={w: shared_w}) for _ in range(count)]
+    entry, _ = registry.context_for(program, seed=11)
+    return BatchJob(
+        program=program, signature=program.signature(), requests=requests,
+        batcher=SlotBatcher(program, width=WIDTH),
+        backend=FunctionalBackend(validate=False), context_entry=entry,
+    ), entry
+
+
+# ---------------------------------------------------------------- RetryPolicy
+class TestRetryPolicy:
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(max_attempts=8, base_delay_s=0.02,
+                             multiplier=2.0, max_delay_s=0.1, jitter=0.0)
+        delays = [policy.backoff_s(k) for k in range(1, 8)]
+        assert delays[0] == pytest.approx(0.02)
+        assert delays[1] == pytest.approx(0.04)
+        assert delays[2] == pytest.approx(0.08)
+        assert all(d == pytest.approx(0.1) for d in delays[3:])
+
+    def test_attempts_exhausted_returns_none(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert policy.backoff_s(2) is not None
+        assert policy.backoff_s(3) is None
+        assert policy.backoff_s(99) is None
+
+    def test_deadline_awareness(self):
+        policy = RetryPolicy(max_attempts=10, base_delay_s=0.2, jitter=0.0)
+        # No budget left: stop retrying.
+        assert policy.backoff_s(1, remaining_s=0.0) is None
+        assert policy.backoff_s(1, remaining_s=-1.0) is None
+        # A sleep never eats more than half the remaining budget.
+        assert policy.backoff_s(1, remaining_s=0.1) == pytest.approx(0.05)
+        # Plenty of budget: the normal delay applies.
+        assert policy.backoff_s(1, remaining_s=10.0) == pytest.approx(0.2)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        import random
+
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.5)
+        a = [policy.backoff_s(1, rng=random.Random(7)) for _ in range(3)]
+        b = [policy.backoff_s(1, rng=random.Random(7)) for _ in range(3)]
+        assert a == b                       # same seed, same schedule
+        for delay in a:
+            assert 0.1 <= delay <= 0.15     # within [base, base*(1+jitter)]
+
+
+# ------------------------------------------------------------- CircuitBreaker
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_after_s=1.0,
+                                 clock=clock)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+        assert not breaker.would_allow()
+
+    def test_success_resets_the_failure_count(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_s=1.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(1.5)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        # would_allow never consumes the probe slot; allow does, once.
+        assert breaker.would_allow()
+        assert breaker.allow()
+        assert not breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_after_s=1.0,
+                                 clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()             # the half-open probe
+        breaker.record_failure()           # one probe failure re-opens
+        assert breaker.state == CircuitBreaker.OPEN
+        assert not breaker.allow()
+
+    def test_transition_callback_sees_the_full_cycle(self):
+        clock = FakeClock()
+        seen = []
+        breaker = CircuitBreaker(failure_threshold=1, reset_after_s=1.0,
+                                 clock=clock,
+                                 on_transition=lambda a, b: seen.append((a, b)))
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_success()
+        assert seen == [("closed", "open"), ("open", "half_open"),
+                        ("half_open", "closed")]
+
+
+# ----------------------------------------------------------------- LoadShedder
+class TestLoadShedder:
+    def test_cold_start_never_sheds(self):
+        shedder = LoadShedder(workers=1, min_samples=4)
+        for _ in range(100):
+            shedder.admitted()
+        assert not shedder.should_shed(1e-9)
+
+    def test_sheds_infeasible_deadline_after_history(self):
+        shedder = LoadShedder(workers=1, min_samples=4)
+        for _ in range(4):
+            shedder.observe_batch(0.1, 1)     # 100 ms per request
+        for _ in range(10):
+            shedder.admitted()
+        # 10 queued x 100 ms = ~1 s of work ahead.
+        assert shedder.should_shed(0.05)      # 50 ms budget: infeasible
+        assert not shedder.should_shed(5.0)   # 5 s budget: fine
+
+    def test_resolved_drains_the_queue(self):
+        shedder = LoadShedder(workers=1, min_samples=1)
+        shedder.observe_batch(0.1, 1)
+        for _ in range(10):
+            shedder.admitted()
+        assert shedder.should_shed(0.05)
+        shedder.resolved(10)
+        assert shedder.queued == 0
+        assert not shedder.should_shed(0.05)
+        shedder.resolved(5)                  # never goes negative
+        assert shedder.queued == 0
+
+    def test_workers_divide_the_wait(self):
+        one = LoadShedder(workers=1, min_samples=1)
+        four = LoadShedder(workers=4, min_samples=1)
+        for s in (one, four):
+            s.observe_batch(0.4, 4)          # 100 ms per request
+            for _ in range(8):
+                s.admitted()
+        assert one.estimated_wait_s() == pytest.approx(0.8)
+        assert four.estimated_wait_s() == pytest.approx(0.2)
+
+
+# ----------------------------------------------------------------- ChaosPolicy
+class TestChaosPolicy:
+    def test_parse_spec_roundtrip(self):
+        policy = ChaosPolicy(seed=7, drop_rate=0.05, delay_rate=0.2,
+                             delay_ms=5.0, crash_rate=0.01)
+        assert ChaosPolicy.parse(policy.spec()) == policy
+
+    def test_parse_accepts_aliases(self):
+        policy = ChaosPolicy.parse("seed=3,drop=0.1,corrupt=0.2,hang=0.3")
+        assert policy.seed == 3
+        assert policy.drop_rate == pytest.approx(0.1)
+        assert policy.corrupt_rate == pytest.approx(0.2)
+        assert policy.hang_rate == pytest.approx(0.3)
+
+    def test_parse_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown chaos field"):
+            ChaosPolicy.parse("seed=1,explode=0.5")
+
+    def test_same_seed_same_schedule(self):
+        policy = ChaosPolicy(seed=42, drop_rate=0.2, corrupt_rate=0.2,
+                             truncate_rate=0.1, delay_rate=0.3,
+                             heavy_tail_ms=2.0)
+        def schedule(engine):
+            out = []
+            for _ in range(64):
+                out.append((engine.send_fault(), engine.send_delay_s()))
+            return out
+        a = schedule(ChaosEngine(policy))
+        b = schedule(ChaosEngine(policy))
+        assert a == b
+        c = schedule(ChaosEngine(policy.with_seed(43)))
+        assert a != c
+
+
+class TestChaosSocket:
+    def _pair(self, policy):
+        left, right = socket.socketpair()
+        left.settimeout(5)
+        right.settimeout(5)
+        return ChaosSocket(left, ChaosEngine(policy)), right
+
+    def test_corruption_is_caught_by_frame_crc(self):
+        chaotic, peer = self._pair(ChaosPolicy(seed=1, corrupt_rate=1.0))
+        with peer:
+            send_msg(chaotic, MsgType.HEARTBEAT, {"x": 1})
+            with pytest.raises(FrameError):
+                recv_msg(peer)
+        chaotic.close()
+
+    def test_truncation_presents_as_short_stream(self):
+        chaotic, peer = self._pair(ChaosPolicy(seed=1, truncate_rate=1.0))
+        with peer:
+            with pytest.raises(ConnectionResetError, match="truncate"):
+                send_msg(chaotic, MsgType.HEARTBEAT, {"x": 1})
+            with pytest.raises((FrameError, OSError)):
+                recv_msg(peer)
+
+    def test_drop_resets_the_connection(self):
+        chaotic, peer = self._pair(ChaosPolicy(seed=1, drop_rate=1.0))
+        with peer:
+            with pytest.raises(ConnectionResetError, match="drop"):
+                send_msg(chaotic, MsgType.HEARTBEAT, {"x": 1})
+            with pytest.raises((FrameError, OSError)):
+                recv_msg(peer)
+
+    def test_no_faults_is_fully_transparent(self):
+        chaotic, peer = self._pair(ChaosPolicy(seed=1))
+        with peer:
+            send_msg(chaotic, MsgType.RESULT, {"payload": list(range(32))})
+            msg_type, msg = recv_msg(peer)
+            assert msg_type is MsgType.RESULT
+            assert msg == {"payload": list(range(32))}
+        chaotic.close()
+
+
+# --------------------------------------------------- executor-level resilience
+class TestRemoteResilience:
+    def test_reconnect_resets_inflight_and_latency_stats(self):
+        """Satellite fix: a bounced host's fresh process shares nothing
+        with its predecessor — reconnect must zero the inflight count
+        and the latency history, and stale slot releases must no-op."""
+        with LocalCluster(1) as cluster:
+            with cluster.executor() as pool:
+                job, _ = bgv_job(ProgramRegistry())
+                pool.execute(job)
+                host = pool._hosts[0]
+                assert host.latencies_ms.count > 0
+                host.inflight = 3              # pretend slots are in flight
+                old_epoch = host.epoch
+                pool._connect_host(host)       # the reconnect path
+                assert host.epoch == old_epoch + 1
+                assert host.inflight == 0
+                assert host.latencies_ms.count == 0
+                host.inflight = 1
+                pool._release_slot(host, old_epoch)   # stale: must no-op
+                assert host.inflight == 1
+                pool._release_slot(host, host.epoch)
+                assert host.inflight == 0
+
+    def test_hedge_first_success_wins(self):
+        """With the primary wedged past ``hedge_after_s``, the hedge's
+        result is returned and the hedge counter moves."""
+        with LocalCluster(2) as cluster:
+            with cluster.executor(hedge_after_s=0.6) as pool:
+                registry = ProgramRegistry()
+                job, _ = bgv_job(registry)
+                calls = []
+                real_attempt = pool._attempt
+
+                def stub(self, job, key, backend_key, deadline,
+                         exclude=frozenset(), chosen=None):
+                    calls.append(time.perf_counter())
+                    if chosen is not None:
+                        chosen.append(0)
+                    if len(calls) == 1:
+                        time.sleep(1.2)       # wedged primary
+                        return "slow"
+                    return "fast"
+
+                pool._attempt = types.MethodType(stub, pool)
+                try:
+                    deadline = time.perf_counter() + 0.8
+                    result = pool._hedged_attempt(job, 0, 0, deadline)
+                finally:
+                    pool._attempt = real_attempt
+                assert result == "fast"
+                assert pool.stats()["resilience"]["hedges"] == 1
+
+    def test_breaker_opens_and_host_is_skipped(self):
+        """Consecutive transport failures open the per-host breaker and
+        routing stops offering that host."""
+        with LocalCluster(2) as cluster:
+            with cluster.executor(heartbeat_s=30.0,
+                                  breaker_failures=2) as pool:
+                job, _ = bgv_job(ProgramRegistry())
+                pool.execute(job)
+                host = pool._hosts[0]
+                host.breaker.record_failure()
+                host.breaker.record_failure()
+                assert host.breaker.state == CircuitBreaker.OPEN
+                stats = pool.stats()
+                assert stats["hosts"][0]["breaker"] == "open"
+                routable = [h for _, h in pool._candidates(0)]
+                assert host not in routable
+                # Traffic still flows through the other host.
+                outputs, _ = pool.execute(job)
+                assert len(outputs) == len(job.requests)
+
+
+# ----------------------------------------------------- server-level resilience
+class TestServerResilience:
+    def _submit_all(self, server, program, count, rng, **kw):
+        x, w = (op.op_id for op in program.ops[:2])
+        shared = rng.integers(0, 256, WIDTH)
+        return [server.submit(program,
+                              inputs={x: rng.integers(0, 256, WIDTH)},
+                              plains={w: shared}, width=WIDTH, **kw)
+                for _ in range(count)]
+
+    def test_exhausted_retries_resolve_failed_not_hung(self):
+        """Hosts all dead and degradation off: futures resolve with
+        ``status == "failed"`` carrying the typed error chain — never an
+        exception, never a hang."""
+        program = linear_bgv()
+        rng = np.random.default_rng(2)
+        with LocalCluster(1) as cluster:
+            pool = cluster.executor(
+                heartbeat_s=30.0,
+                retry=RetryPolicy(max_attempts=2, base_delay_s=0.01),
+            )
+            with pool:
+                with FheServer(executor=pool, workers=1, max_wait_ms=2.0,
+                               degrade=False) as server:
+                    # Warm the pipeline so registry state exists, then
+                    # kill the only host.
+                    ok = self._submit_all(server, program, 2, rng)
+                    server.flush()
+                    for f in ok:
+                        assert f.result(timeout=60).status == "ok"
+                    cluster.kill(0)
+                    futures = self._submit_all(server, program, 4, rng)
+                    server.flush()
+                    results = [f.result(timeout=60) for f in futures]
+                    assert all(r.status == STATUS_FAILED for r in results)
+                    for r in results:
+                        assert "error" in r.stats
+                    stats = server.stats()
+                    assert stats["failed"] == 4
+                    assert stats["errors"] == 0
+
+    def test_degrades_to_local_fallback_and_recovers(self):
+        """Every host down: batches run on the embedded fallback with
+        correct outputs and ``degraded`` flagged; once the host returns,
+        remote serving resumes and the flag clears."""
+        program = linear_bgv()
+        rng = np.random.default_rng(3)
+        with LocalCluster(1) as cluster:
+            pool = cluster.executor(
+                heartbeat_s=0.05,
+                retry=RetryPolicy(max_attempts=2, base_delay_s=0.01),
+            )
+            with pool:
+                with FheServer(executor=pool, workers=1,
+                               max_wait_ms=2.0) as server:
+                    ok = self._submit_all(server, program, 2, rng)
+                    server.flush()
+                    for f in ok:
+                        assert f.result(timeout=60).status == "ok"
+                    cluster.kill(0)
+                    # Wait for the monitor to notice the death so the
+                    # retry loop sees "no routable host" deterministically.
+                    deadline = time.monotonic() + 30
+                    while time.monotonic() < deadline and not pool._hosts[0].dead:
+                        time.sleep(0.02)
+                    degraded = self._submit_all(server, program, 3, rng)
+                    server.flush()
+                    for f in degraded:
+                        assert f.result(timeout=60).status == "ok"
+                    assert server.stats()["degraded"] is True
+                    assert server.stats()["degradations"] >= 1
+                    # Host comes back: remote serving resumes, flag clears.
+                    cluster.restart(0)
+                    deadline = time.monotonic() + 30
+                    recovered = False
+                    while time.monotonic() < deadline:
+                        if pool.healthy():
+                            fs = self._submit_all(server, program, 1, rng)
+                            server.flush()
+                            assert fs[0].result(timeout=60).status == "ok"
+                            if server.stats()["degraded"] is False:
+                                recovered = True
+                                break
+                        time.sleep(0.05)
+                    assert recovered, "server never returned to remote serving"
+
+    def test_overload_sheds_infeasible_deadlines_at_submit(self):
+        """With measured service history and a deep queue, a request
+        whose deadline cannot be met resolves ``shed`` immediately."""
+        program = linear_bgv()
+        rng = np.random.default_rng(4)
+        with FheServer(workers=1, max_wait_ms=2.0) as server:
+            warm = self._submit_all(server, program, 2, rng)
+            server.flush()
+            for f in warm:
+                assert f.result(timeout=60).status == "ok"
+            # Force the estimator into a known overloaded state rather
+            # than racing real traffic: 200 ms/request, 64 queued.
+            for _ in range(8):
+                server._shedder.observe_batch(0.2, 1)
+            for _ in range(64):
+                server._shedder.admitted()
+            future = self._submit_all(server, program, 1, rng,
+                                      deadline_ms=5.0)[0]
+            result = future.result(timeout=10)
+            assert result.status == STATUS_SHED
+            assert result.values == {}
+            assert result.stats["estimated_wait_ms"] > 5.0
+            assert server.stats()["shed"] == 1
+            # Without a deadline there is nothing to shed against.
+            server._shedder.resolved(64)
+            free = self._submit_all(server, program, 1, rng)
+            server.flush()
+            assert free[0].result(timeout=60).status == "ok"
+
+    def test_worker_crash_chaos_is_survivable(self):
+        """A worker started with --chaos crash injection dies mid-run;
+        the other host (no chaos) absorbs the retried batches."""
+        program = linear_bgv()
+        rng = np.random.default_rng(5)
+        with LocalCluster(2) as cluster:
+            # Restart worker 0 under a crash-always policy by hand: the
+            # cluster-level chaos seeds hosts apart, but this test wants
+            # one poisoned host and one clean one, deterministically.
+            cluster.chaos = ChaosPolicy(crash_rate=1.0)
+            cluster.restart(0)
+            cluster.chaos = None
+            with cluster.executor(heartbeat_s=0.1) as pool:
+                with FheServer(executor=pool, workers=2,
+                               max_wait_ms=2.0) as server:
+                    futures = self._submit_all(server, program, 8, rng)
+                    server.flush()
+                    for f in futures:
+                        assert f.result(timeout=120).status == "ok"
+
+
+# ------------------------------------------------------------------- the soak
+@pytest.mark.slow
+def test_chaos_soak_with_kill_and_restart():
+    """The full seeded soak: drops, corrupt frames, heavy-tailed delays,
+    a worker kill AND restart mid-run, at 2x the smoke's request count.
+    Zero lost futures; every ok result identical to a solo run."""
+    policy = ChaosPolicy(seed=13, drop_rate=0.05, corrupt_rate=0.03,
+                         delay_rate=0.25, delay_ms=1.0, heavy_tail_ms=5.0,
+                         stall_rate=0.03, stall_ms=50.0)
+    assert chaos_soak(seed=13, hosts=2, requests=24, kill=True,
+                      restart=True, policy=policy, verbose=False) == 0
