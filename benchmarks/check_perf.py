@@ -9,8 +9,11 @@ Usage (from the repo root):
     PYTHONPATH=src python benchmarks/check_perf.py --tolerance 3.0
 
 Times a fixed set of hot kernels (all-limb NTT, CRT conversions, base
-extension, Listing-1 key switch, hoisted rotations, the chained modulus
-switch, plus the serving hot paths: slot pack/unpack, registry lookup,
+extension — both the batched conversion-table path and the per-modulus
+reference it replaced, the object-free scale-down and its big-int oracle,
+the lazy word-matmul CRT reconstruction on a tall 16-limb basis, a
+2-thread stacked NTT, Listing-1 key switch, hoisted rotations, the
+chained modulus switch, plus the serving hot paths: slot pack/unpack, registry lookup,
 the context serde round-trip paid when replicating state into a worker
 process, the executor's batch-dispatch overhead, the level/rotation
 batching paths: a mixed-level BGV batch and a masked CKKS rotation batch,
@@ -27,7 +30,10 @@ machines).  Exits non-zero on regression so CI can gate on it.
 ``--compare`` prints the per-kernel old-vs-new speedup table (baseline time
 divided by measured time) without gating — the tool for quantifying a perf
 PR before rewriting the baseline with ``--write``.  It also derives the
-hoisting payoff: ``rotate_sequential / rotate_many_hoisted``.
+hoisting payoff (``rotate_sequential / rotate_many_hoisted``) and the
+round-2 kernel payoffs, each measured reference-vs-fast on identical
+inputs in the same process: batched base extension, object-free
+scale-down, and lazy CRT reconstruction.
 """
 
 from __future__ import annotations
@@ -46,11 +52,19 @@ DEFAULT_TOLERANCE = 2.5
 
 def _kernels():
     from repro.fhe.bgv import BgvContext
-    from repro.fhe.keyswitch import base_extend, key_switch_v1
+    from repro.fhe.keyswitch import (
+        base_extend,
+        base_extend_reference,
+        key_switch_v1,
+        scale_down,
+        scale_down_reference,
+    )
     from repro.fhe.params import FheParams
     from repro.fhe.sampling import uniform_poly
+    from repro.poly import parallel
     from repro.poly.ntt import get_rns_context
     from repro.poly.polynomial import Domain, RnsPolynomial
+    from repro.rns import convert
     from repro.rns.crt import RnsBasis
     from repro.rns.primes import ntt_friendly_primes
 
@@ -70,6 +84,30 @@ def _kernels():
     )
     extended = RnsBasis(basis.moduli + special.moduli)
     x_coeff = RnsPolynomial(basis, limbs, Domain.COEFF)
+
+    # Round-2 conversion kernels: the batched conversion-table path vs the
+    # per-modulus reference it replaced (same inputs, same process), the
+    # object-free scale-down vs its big-int oracle, the lazy word-matmul
+    # CRT reconstruction on a tall 16-limb basis (where the big-int sum it
+    # replaces is most expensive), and a 2-thread stacked NTT fan.
+    base_conv = convert.get_base_conversion(basis.moduli, extended.moduli)
+    base_conv.convert(limbs)  # build cached tables outside the timed region
+    ext_limbs = np.stack(
+        [rng.integers(0, q, n, dtype=np.uint64) for q in extended.moduli]
+    )
+    x_ext = RnsPolynomial(extended, ext_limbs, Domain.COEFF)
+    tall = RnsBasis(ntt_friendly_primes(n, 28, 16))
+    tall_limbs = np.stack(
+        [rng.integers(0, q, n, dtype=np.uint64) for q in tall.moduli]
+    )
+    ntt_stack = np.stack([limbs] * 8)
+
+    def _ntt_threaded_stack():
+        prev = parallel.set_num_threads(2)
+        try:
+            return ctx.forward(ntt_stack)
+        finally:
+            parallel.set_num_threads(prev)
 
     params = FheParams.build(n=256, levels=4, prime_bits=28, plaintext_modulus=256)
     bgv = BgvContext(params, seed=3)
@@ -199,7 +237,18 @@ def _kernels():
         "ntt_inverse_all_limb": lambda: ctx.inverse(evals),
         "crt_to_rns_wide": lambda: basis.to_rns(ints),
         "crt_from_rns": lambda: basis.from_rns(limbs),
+        "crt_from_rns_lazy": lambda: tall.from_rns(tall_limbs),
+        "crt_from_rns_reference": lambda: tall._from_rns_exact(tall_limbs),
         "base_extend": lambda: base_extend(x_coeff, extended),
+        "base_extend_batched": lambda: base_conv.convert(limbs),
+        "base_extend_reference": lambda: base_extend_reference(
+            x_coeff, extended
+        ),
+        "scale_down_batched": lambda: scale_down(x_ext, special, 256),
+        "scale_down_reference": lambda: scale_down_reference(
+            x_ext, special, 256
+        ),
+        "ntt_threaded_stack": _ntt_threaded_stack,
         "key_switch_v1": lambda: key_switch_v1(ks_x, hint),
         "rotate_many_hoisted": lambda: bgv.rotate_many(rot_ct, rot_steps),
         "rotate_sequential": lambda: [bgv.rotate(rot_ct, s) for s in rot_steps],
@@ -271,6 +320,17 @@ def main(argv: list[str] | None = None) -> int:
         if hoisted and seq:
             print(f"\nhoisting payoff (k=8): sequential/hoisted = "
                   f"{seq / hoisted:.2f}x")
+        for label, fast, ref in (
+            ("batched base-extend payoff",
+             "base_extend_batched", "base_extend_reference"),
+            ("object-free scale-down payoff",
+             "scale_down_batched", "scale_down_reference"),
+            ("lazy CRT payoff (L=16)",
+             "crt_from_rns_lazy", "crt_from_rns_reference"),
+        ):
+            if measured.get(fast) and measured.get(ref):
+                print(f"{label}: reference/fast = "
+                      f"{measured[ref] / measured[fast]:.2f}x")
         return 0
 
     if args.write:

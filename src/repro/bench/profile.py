@@ -6,16 +6,21 @@ workload program on the real-encryption functional backend under cProfile
 and reports two views:
 
 - a **kernel-bucket summary**: cumulative time attributed to the engine's
-  hot layers (NTT stage loops, modular kernels, key switching, CRT
-  conversions, automorphisms, sampling, and raw numpy), so a perf PR can see
-  at a glance which layer dominates;
+  hot layers (NTT stage loops, modular kernels, key switching, the RNS base
+  conversions — ``base_extend`` / ``scale_down`` / ``crt_from_rns`` each get
+  their own bucket — automorphisms, sampling, and raw numpy), so a perf PR
+  can see at a glance which layer dominates;
 - the raw **top functions by self time**, for drilling past the buckets.
 
 Usage (any checkout)::
 
     PYTHONPATH=src python -m repro.bench.profile lola_mnist_uw
     PYTHONPATH=src python -m repro.bench.profile db_lookup --n 1024 --scale 0.1
-    PYTHONPATH=src python -m repro.bench.profile serve_linear_bgv --top 30
+    PYTHONPATH=src python -m repro.bench.profile serve_linear_bgv --json
+
+``--json`` emits one machine-readable object (workload metadata, bucket
+self-times, top functions) on stdout instead of the tables, for scripted
+before/after comparisons across perf PRs.
 
 Workloads are the Table-3 DSL generators (:mod:`repro.bench.workloads`) plus
 the small serving circuits from :mod:`repro.bench.loadgen`; sizes default to
@@ -26,13 +31,29 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import pstats
 import sys
 
-#: function-name substring -> kernel bucket (first match wins, top to bottom).
+#: function-name -> kernel bucket, checked before the path buckets so the
+#: base-conversion pipeline is split out of the files that host it.
+FUNCTION_BUCKETS = {
+    "base_extend": "base-extend",
+    "base_extend_reference": "base-extend",
+    "scale_down": "scale-down",
+    "_scale_down_fast": "scale-down",
+    "scale_down_reference": "scale-down",
+    "from_rns": "crt-from-rns",
+    "_from_rns_exact": "crt-from-rns",
+    "reconstruct": "crt-from-rns",
+}
+
+#: path substring -> kernel bucket (first match wins, top to bottom).
 KERNEL_BUCKETS = [
     ("repro/poly/ntt.py", "ntt"),
+    ("repro/poly/parallel.py", "thread-fan"),
     ("repro/poly/kernels.py", "modular-kernels"),
+    ("repro/rns/convert.py", "base-extend"),
     ("repro/fhe/keyswitch.py", "key-switch"),
     ("repro/rns/crt.py", "crt"),
     ("repro/poly/automorphism.py", "automorphism"),
@@ -54,15 +75,19 @@ def available_workloads(n: int, scale: float) -> dict:
     return progs
 
 
-def _bucket_of(path: str) -> str | None:
+def _bucket_of(path: str, func: str) -> str | None:
+    path = path.replace("\\", "/")
+    if "repro/" in path and func in FUNCTION_BUCKETS:
+        return FUNCTION_BUCKETS[func]
     for needle, bucket in KERNEL_BUCKETS:
-        if needle in path.replace("\\", "/"):
+        if needle in path:
             return bucket
     return None
 
 
 def profile_workload(name: str, *, n: int = 1024, scale: float = 0.1,
-                     top: int = 20, seed: int = 0) -> pstats.Stats:
+                     top: int = 20, seed: int = 0,
+                     as_json: bool = False) -> pstats.Stats:
     """Run ``name`` under cProfile and print the kernel breakdown."""
     progs = available_workloads(n, scale)
     if name not in progs:
@@ -91,13 +116,40 @@ def profile_workload(name: str, *, n: int = 1024, scale: float = 0.1,
     buckets: dict[str, float] = {}
     numpy_time = 0.0
     for (path, _line, func), (_cc, _nc, tt, _ct, _callers) in stats.stats.items():
-        bucket = _bucket_of(path)
+        bucket = _bucket_of(path, func)
         if bucket is None and ("numpy" in path or path == "~"):
             numpy_time += tt
             continue
         if bucket is not None:
             buckets[bucket] = buckets.get(bucket, 0.0) + tt
     buckets["numpy-builtin"] = numpy_time
+
+    if as_json:
+        top_funcs = sorted(
+            (
+                {"file": path, "line": line, "function": func,
+                 "self_s": round(tt, 6), "cumulative_s": round(ct, 6),
+                 "calls": nc}
+                for (path, line, func), (_cc, nc, tt, ct, _callers)
+                in stats.stats.items()
+            ),
+            key=lambda d: -d["self_s"],
+        )[:top]
+        print(json.dumps({
+            "workload": name,
+            "n": program.n,
+            "scheme": program.scheme,
+            "ops": len(program.ops),
+            "seed": seed,
+            "total_s": round(total, 6),
+            "buckets": {
+                b: round(tt, 6)
+                for b, tt in sorted(buckets.items(), key=lambda kv: -kv[1])
+                if tt > 0
+            },
+            "top": top_funcs,
+        }, indent=2))
+        return stats
 
     print(f"\nworkload {name}: N={program.n}, scheme={program.scheme}, "
           f"{len(program.ops)} ops — total {total:.3f}s")
@@ -121,9 +173,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--scale", type=float, default=0.1)
     parser.add_argument("--top", type=int, default=20)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", action="store_true",
+                        help="emit one machine-readable JSON object instead "
+                             "of the tables")
     args = parser.parse_args(argv)
     profile_workload(args.workload, n=args.n, scale=args.scale,
-                     top=args.top, seed=args.seed)
+                     top=args.top, seed=args.seed, as_json=args.json)
     return 0
 
 

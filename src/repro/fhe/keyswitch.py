@@ -42,6 +42,8 @@ Both variants return ``(u0, u1)`` such that ``u0 - u1 * s ≈ x * s_old
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.fhe.keys import KeySwitchHint, RaisedKeySwitchHint
@@ -49,6 +51,7 @@ from repro.obs.profile import instrument
 from repro.poly import kernels
 from repro.poly.ntt import get_rns_context
 from repro.poly.polynomial import Domain, RnsPolynomial
+from repro.rns import convert
 from repro.rns.crt import RnsBasis
 
 
@@ -194,6 +197,32 @@ def base_extend(x: RnsPolynomial, extended: RnsBasis) -> RnsPolynomial:
     Computes ``x + u*Q`` over the extended basis for some small integer
     polynomial ``u`` with ``0 <= u < L`` (the standard approximate CRT lift;
     the ``u*Q`` term is annihilated by the subsequent scale-down mod Q).
+
+    The whole lift runs on cached per-basis-pair conversion tables
+    (:class:`repro.rns.convert.BaseConversion`): Shoup digit extraction plus
+    one raw uint64 matmul against the ``(Q/q_i) mod p_j`` matrix, replacing
+    the former per-target-modulus Python loop (kept as
+    :func:`base_extend_reference`; ``REPRO_KERNEL_DEBUG=1`` asserts
+    bit-identity on every call).
+    """
+    if x.domain is not Domain.COEFF:
+        raise ValueError("base_extend expects a coefficient-domain input")
+    conv = convert.get_base_conversion(x.basis.moduli, extended.moduli)
+    out = conv.convert(x.limbs)
+    if kernels.DEBUG_VALIDATE:
+        ref = base_extend_reference(x, extended)
+        assert np.array_equal(out, ref.limbs), \
+            "batched base_extend diverged from the reference path"
+    return RnsPolynomial(extended, out, Domain.COEFF)
+
+
+def base_extend_reference(x: RnsPolynomial, extended: RnsBasis) -> RnsPolynomial:
+    """The retained per-target-modulus reference lift (exact oracle).
+
+    Bit-identical to :func:`base_extend` by construction — both evaluate
+    ``sum_i d_i * (Q/q_i) mod p_j`` exactly; this one walks target moduli in
+    Python with per-row reduced sums.  Kept for the debug oracle, the fuzz
+    suite, and the perf gate's before/after ratio.
     """
     if x.domain is not Domain.COEFF:
         raise ValueError("base_extend expects a coefficient-domain input")
@@ -232,6 +261,116 @@ def scale_down(
     over Q, where the subtracted correction ``delta ≡ x (mod P)`` and
     ``delta ≡ 0 (mod t)`` so BGV plaintexts survive unscathed apart from the
     tracked ``P^{-1} mod t`` factor.
+
+    Hot path: the exact value ``v = [x]_P`` is carried in Garner mixed-radix
+    form (:class:`repro.rns.convert.MixedRadix`) — raw uint64 vector ops
+    only — and ``delta mod q_j`` is assembled directly from ``v mod q_j``,
+    ``v > P/2``, and the centered correction, never materializing big-int
+    object arrays.  Every step computes the same integers as the retained
+    object-array oracle (:func:`scale_down_reference`), so outputs are
+    bit-identical; ``REPRO_KERNEL_DEBUG=1`` asserts exactly that per call.
+    Falls back to the oracle for moduli or ``t`` at or above 2^32.
+    """
+    x = x.to_coeff()
+    ext = x.basis
+    n_special = special.level
+    if ext.moduli[-n_special:] != special.moduli:
+        raise ValueError("special basis must be the trailing limbs of x's basis")
+    t = plaintext_modulus
+    if max(ext.moduli) >= 1 << 32 or not 1 <= t < 1 << 32:
+        return scale_down_reference(x, special, t)
+    basis_q = RnsBasis(ext.moduli[:-n_special])
+    out = _scale_down_fast(x.limbs, basis_q, special, t)
+    if kernels.DEBUG_VALIDATE:
+        ref = scale_down_reference(x, special, t)
+        assert np.array_equal(out, ref.limbs), \
+            "lazy scale_down diverged from the exact object-array oracle"
+    return RnsPolynomial(basis_q, out, Domain.COEFF)
+
+
+def _scale_down_fast(
+    limbs: np.ndarray, basis_q: RnsBasis, special: RnsBasis, t: int
+) -> np.ndarray:
+    """Object-free scale-down core; see :func:`scale_down` for the contract.
+
+    With ``v = [x]_P in [0, P)`` and ``big = (v > P//2)`` marking the
+    coefficients whose centered value is ``v - P``, every quantity the
+    oracle derives from the big-int ``v`` is reproduced modulus-wise:
+    ``v_c mod m`` is one conditional subtract of ``P mod m``, the correction
+    ``w = [-v_c * P^{-1}]_t`` needs only ``v_c mod t``, and
+    ``delta mod q = (v_c + P*w_c) mod q`` fits uint64 because
+    ``q^2 + q < 2^64`` for ``q < 2^32``.
+    """
+    n_special = special.level
+    q_moduli = basis_q.moduli
+    q_col = basis_q.moduli_column()
+    p_product = special.modulus
+    (pq_col, p_inv_col, t_mod_q_col, p_inv_t, half) = _scale_down_tables(
+        q_moduli, special.moduli, t
+    )
+
+    mr = convert.get_mixed_radix(special.moduli)
+    a = mr.digits(limbs[-n_special:])
+    vq = mr.residues(a, q_moduli)
+    big = mr.greater_than(a, half)[None, :]
+    # Centered v mod q: subtract P mod q where v was centered downwards.
+    vq_c = np.where(big, kernels.cond_sub(vq + (q_col - pq_col), q_col), vq)
+    if t > 1:
+        tt = np.uint64(t)
+        vt = mr.residues(a, (t,))[0]
+        c_t = np.uint64(t - p_product % t)  # == t when P ≡ 0 (mod t)
+        vt_c = np.where(big[0], kernels.cond_sub(vt + c_t, tt), vt)
+        w = kernels.cond_sub(tt - vt_c, tt) * p_inv_t % tt
+        big_w = (w > np.uint64(t // 2))[None, :]  # centered w is w - t there
+        if t <= min(q_moduli):
+            w_mod_q = np.broadcast_to(w, vq.shape)
+        else:
+            w_mod_q = w[None, :] % q_col
+        wq_c = np.where(
+            big_w,
+            kernels.cond_sub(w_mod_q + (q_col - t_mod_q_col), q_col),
+            w_mod_q,
+        )
+        # delta = v_c + P*w_c; products stay < q^2 + q < 2^64.
+        delta_q = (vq_c + pq_col * wq_c) % q_col
+    else:
+        delta_q = vq_c
+    return ((limbs[: basis_q.level] + q_col - delta_q) % q_col
+            * p_inv_col) % q_col
+
+
+@lru_cache(maxsize=None)
+def _scale_down_tables(
+    q_moduli: tuple[int, ...], special_moduli: tuple[int, ...], t: int
+):
+    """Per-(basis, special, t) constants for the object-free scale-down."""
+    p_product = 1
+    for p in special_moduli:
+        p_product *= p
+    pq_col = np.array(
+        [p_product % q for q in q_moduli], dtype=np.uint64
+    ).reshape(-1, 1)
+    p_inv_col = np.array(
+        [pow(p_product % q, -1, q) for q in q_moduli], dtype=np.uint64
+    ).reshape(-1, 1)
+    t_mod_q_col = np.array(
+        [t % q for q in q_moduli], dtype=np.uint64
+    ).reshape(-1, 1)
+    p_inv_t = np.uint64(pow(p_product % t, -1, t)) if t > 1 else np.uint64(0)
+    return pq_col, p_inv_col, t_mod_q_col, p_inv_t, p_product // 2
+
+
+def scale_down_reference(
+    x: RnsPolynomial,
+    special: RnsBasis,
+    plaintext_modulus: int,
+) -> RnsPolynomial:
+    """The retained exact object-array scale-down (debug oracle).
+
+    Reconstructs the centered big-int ``v = [x]_P`` through
+    ``RnsBasis.from_rns`` and reduces ``delta`` per target modulus — the
+    pre-batching formulation, kept as the ``REPRO_KERNEL_DEBUG=1`` oracle
+    and the perf gate's before/after reference.
     """
     x = x.to_coeff()
     ext = x.basis

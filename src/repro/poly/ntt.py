@@ -69,7 +69,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.obs.profile import instrument
-from repro.poly import kernels
+from repro.poly import kernels, parallel
 from repro.poly.kernels import MAX_LAZY_MODULUS, cond_sub
 from repro.rns.primes import primitive_root_of_unity
 
@@ -426,8 +426,21 @@ class RnsNttContext:
 
     @instrument("ntt_forward")
     def forward(self, limbs: np.ndarray) -> np.ndarray:
-        """All-limb negacyclic NTT: ``(..., L, N)`` coefficient -> evaluation."""
+        """All-limb negacyclic NTT: ``(..., L, N)`` coefficient -> evaluation.
+
+        With ``REPRO_NUM_THREADS`` > 1 large inputs fan across the
+        :mod:`repro.poly.parallel` pool — whole stacks of a batched input,
+        else contiguous limb ranges through cached sub-basis contexts.
+        Per-limb transforms depend only on ``(n, q_i)``, so any split is
+        bit-identical to the serial path.
+        """
         limbs = self._check_shape(limbs)
+        fanned = _fan_transform(self, limbs, inverse=False)
+        if fanned is not None:
+            return fanned
+        return self._serial_forward(limbs)
+
+    def _serial_forward(self, limbs: np.ndarray) -> np.ndarray:
         if self._plan is not None:
             return self._plan.forward(limbs)
         twisted = (limbs * self._psi) % self._q_col
@@ -439,12 +452,70 @@ class RnsNttContext:
     def inverse(self, evals: np.ndarray) -> np.ndarray:
         """All-limb inverse negacyclic NTT: ``(..., L, N)`` evaluation -> coeff."""
         evals = self._check_shape(evals)
+        fanned = _fan_transform(self, evals, inverse=True)
+        if fanned is not None:
+            return fanned
+        return self._serial_inverse(evals)
+
+    def _serial_inverse(self, evals: np.ndarray) -> np.ndarray:
         if self._plan is not None:
             return self._plan.inverse(evals)
         a = _stage_loop_strict(
             evals[..., self._bitrev], self._stages_inv, self._q_block
         )
         return (a * self._psi_inv_scaled) % self._q_col
+
+
+def _fan_transform(ctx: RnsNttContext, arr: np.ndarray,
+                   inverse: bool) -> np.ndarray | None:
+    """Thread-fan one batched transform, or None for the serial path.
+
+    Splits the leading batch axis into whole ``(L, N)`` stacks when the
+    batch is deep enough, otherwise contiguous limb ranges served by cached
+    sub-basis contexts (``get_rns_context(n, moduli[lo:hi])`` — per-limb
+    tables are identical slices, so chunked outputs match the full-stack
+    transform bit for bit; a mixed-width basis may flip a narrow chunk onto
+    the lazy plan, which is bit-identical by the module's equivalence
+    contract).  Workers run the ``_serial_*`` bodies, so fans never nest.
+    """
+    nt = parallel.active_threads()
+    if nt <= 1 or arr.size < parallel.MIN_PARALLEL_ELEMS:
+        return None
+
+    def run(c: RnsNttContext, x: np.ndarray) -> np.ndarray:
+        return c._serial_inverse(x) if inverse else c._serial_forward(x)
+
+    L, n = len(ctx.moduli), ctx.n
+    if arr.ndim >= 3:
+        lead = 1
+        for d in arr.shape[:-2]:
+            lead *= d
+        if lead >= nt:
+            out = np.empty(arr.shape, dtype=np.uint64)
+            flat_in = arr.reshape(lead, L, n)
+            flat_out = out.reshape(lead, L, n)
+
+            def stack_task(lo: int, hi: int) -> None:
+                flat_out[lo:hi] = run(ctx, flat_in[lo:hi])
+
+            parallel.run_tasks([
+                (lambda lo=lo, hi=hi: stack_task(lo, hi))
+                for lo, hi in parallel.split_ranges(lead, nt)
+            ])
+            return out
+    if L < 2:
+        return None
+    out = np.empty(arr.shape, dtype=np.uint64)
+
+    def limb_task(lo: int, hi: int) -> None:
+        sub = get_rns_context(n, ctx.moduli[lo:hi])
+        out[..., lo:hi, :] = run(sub, arr[..., lo:hi, :])
+
+    parallel.run_tasks([
+        (lambda lo=lo, hi=hi: limb_task(lo, hi))
+        for lo, hi in parallel.split_ranges(L, nt)
+    ])
+    return out
 
 
 def _stage_loop_strict(a: np.ndarray, tables, q_block) -> np.ndarray:

@@ -10,21 +10,32 @@ holds the residues mod ``q_i``), matching the batched NTT engine in
 :mod:`repro.poly.ntt`.  Conversions are vectorized:
 
 - :meth:`RnsBasis.to_rns` reduces machine-width integer arrays with one numpy
-  remainder per limb (object-free for inputs and moduli below 63 bits) and
-  falls back to a Python-int path only for wide inputs;
+  remainder per limb (object-free for inputs and moduli below 63 bits), skips
+  even that when every input value is already below every modulus (the
+  residues *are* the values), and falls back to a Python-int path only for
+  wide inputs;
 - :meth:`RnsBasis.from_rns` computes all CRT digits ``[x_i * (Q/q_i)^{-1}]_{q_i}``
-  in one uint64 op (sound because moduli are < 2^32, the same invariant the
-  NTT engine enforces) and accumulates the wide limb contributions with
-  object-array ufuncs instead of a per-coefficient Python loop.
+  division-free (Shoup partners, via :mod:`repro.rns.convert`) and evaluates
+  the digit-weighted sum ``sum_i d_i * (Q/q_i)`` through raw uint64 word
+  matmuls (:class:`repro.rns.convert.WordAccumulator`), dropping to the
+  object-array formulation only past the overflow bound — both paths are
+  exact, so results are bit-identical.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache, reduce
+from functools import reduce
 
 import numpy as np
 
 from repro.obs.profile import instrument
+
+
+def _convert():
+    # Deferred: repro.rns.convert pulls in repro.poly, whose package init
+    # imports this module — a cycle at import time, gone at call time.
+    from repro.rns import convert
+    return convert
 
 
 class RnsBasis:
@@ -73,9 +84,9 @@ class RnsBasis:
             raise ValueError("cannot drop all RNS limbs")
         return RnsBasis(self.moduli[: self.level - count])
 
-    def crt_weights(self) -> list[tuple[int, int]]:
+    def crt_weights(self) -> tuple[tuple[int, int], ...]:
         """CRT interpolation data: ``(Q/q_i, (Q/q_i)^{-1} mod q_i)`` per limb."""
-        return _crt_weights(self.moduli)
+        return _convert().crt_weights(self.moduli)
 
     @instrument("crt_to_rns")
     def to_rns(self, coeffs) -> np.ndarray:
@@ -88,9 +99,16 @@ class RnsBasis:
         arr = np.asarray(coeffs)
         if arr.dtype.kind in "iu" and self._q_col is not None:
             if arr.dtype.kind == "u":
+                if arr.size and int(arr.max()) < min(self.moduli):
+                    # Already reduced below every modulus: the residues are
+                    # the values — one tile, zero divisions.
+                    return np.tile(arr.astype(np.uint64), (self.level, 1))
                 return np.remainder(
                     arr.astype(np.uint64)[None, :], self._q_col
                 )
+            if (arr.size and int(arr.min()) >= 0
+                    and int(arr.max()) < min(self.moduli)):
+                return np.tile(arr.astype(np.uint64), (self.level, 1))
             # np.remainder takes the divisor's sign: non-negative for q > 0.
             return np.remainder(
                 arr.astype(np.int64)[None, :], self._q_col_i64
@@ -114,6 +132,34 @@ class RnsBasis:
             raise ValueError(
                 f"expected {self.level} limbs, got {limbs.shape[0]}"
             )
+        big_q = self._modulus
+        if self._q_col is not None and max(self.moduli) < 1 << 32:
+            convert = _convert()
+            accumulator = convert.get_word_accumulator(self.moduli)
+            if accumulator.ok:
+                # Digits stay uint64; the weighted sum runs as raw word
+                # matmuls and Python ints appear only in the final
+                # per-coefficient recomposition.  Exact, hence
+                # bit-identical to the object path below.
+                digits = convert.get_digit_decomposer(self.moduli).digits(
+                    limbs
+                )
+                vals = accumulator.reconstruct(digits)
+                half = big_q // 2
+                if centered:
+                    out = []
+                    for c in vals:
+                        c %= big_q
+                        out.append(c - big_q if c > half else c)
+                    return out
+                return [c % big_q for c in vals]
+        return self._from_rns_exact(limbs, centered=centered)
+
+    def _from_rns_exact(
+        self, limbs: np.ndarray, *, centered: bool = False
+    ) -> list[int]:
+        """The retained object-array CRT reconstruction (exact oracle and
+        automatic fallback past the word accumulator's overflow bound)."""
         weights = self.crt_weights()
         big_q = self._modulus
         if self._q_col is not None and max(self.moduli) < 1 << 32:
@@ -155,11 +201,6 @@ class RnsBasis:
         return f"RnsBasis(L={self.level}, logQ≈{self._modulus.bit_length()})"
 
 
-@lru_cache(maxsize=None)
-def _crt_weights(moduli: tuple[int, ...]) -> list[tuple[int, int]]:
-    big_q = reduce(lambda a, b: a * b, moduli, 1)
-    weights = []
-    for q in moduli:
-        q_over = big_q // q
-        weights.append((q_over, pow(q_over % q, -1, q)))
-    return weights
+def _crt_weights(moduli: tuple[int, ...]) -> tuple[tuple[int, int], ...]:
+    """Backward-compatible alias; the cache lives with the conversion tables."""
+    return _convert().crt_weights(moduli)

@@ -52,6 +52,7 @@ import numpy as np
 from repro.backends import resolve_backend
 from repro.dsl.program import OpKind, Program
 from repro.obs.trace import tracer
+from repro.poly import parallel
 
 
 class BatchUnsupported(ValueError):
@@ -467,6 +468,13 @@ class SlotBatcher:
         Request j occupies lanes ``[j*stride, j*stride + width)``.  Missing
         plains default to ``[1]`` (per request), matching solo-run
         semantics; every INPUT op must be present in every request.
+
+        Each packed vector is assembled on a C-contiguous ``(k, stride)``
+        block buffer (one reshaped view of the flat lane array) instead of
+        k strided writes, and independent ops fan across the
+        :mod:`repro.poly.parallel` pool when ``REPRO_NUM_THREADS`` > 1 —
+        the ops touch disjoint arrays, so threaded packing is bit-identical
+        to the serial loop.
         """
         requests = [_coerce(r) for r in requests]
         k = len(requests)
@@ -476,33 +484,64 @@ class SlotBatcher:
                 f"this layout"
             )
         dtype = self._dtype()
-        inputs: dict[int, np.ndarray] = {}
-        plains: dict[int, np.ndarray] = {}
-        for op_id in self._input_ids:
-            packed = np.zeros(self._lanes, dtype=dtype)
+        # Pre-seeded keys keep dict iteration order independent of which
+        # worker thread finishes first.
+        inputs: dict[int, np.ndarray] = {op_id: None for op_id in self._input_ids}
+        plains: dict[int, np.ndarray] = {op_id: None for op_id in self._plain_ids}
+
+        def pack_input(op_id: int) -> None:
+            vecs = []
             for j, req in enumerate(requests):
                 if op_id not in req.inputs:
                     raise ValueError(
                         f"request {j} is missing a value for INPUT op {op_id}"
                     )
-                vec = self._checked(
+                vecs.append(self._checked(
                     req.inputs[op_id], self.width, f"request {j} input {op_id}"
-                )
-                packed[j * self.stride: j * self.stride + vec.shape[0]] = vec
-            inputs[op_id] = packed
-        for op_id in self._plain_ids:
+                ))
+            inputs[op_id] = self._pack_blocks(vecs, dtype)
+
+        def pack_plain(op_id: int) -> None:
             if op_id in self._shared_plains:
                 plains[op_id] = self._shared_plain(op_id, requests)
-            else:
-                packed = np.zeros(self._lanes, dtype=dtype)
-                for j, req in enumerate(requests):
-                    vec = self._checked(
-                        req.plains.get(op_id, np.ones(1)), self.width,
-                        f"request {j} plain {op_id}",
-                    )
-                    packed[j * self.stride: j * self.stride + vec.shape[0]] = vec
-                plains[op_id] = packed
+                return
+            vecs = [
+                self._checked(
+                    req.plains.get(op_id, np.ones(1)), self.width,
+                    f"request {j} plain {op_id}",
+                )
+                for j, req in enumerate(requests)
+            ]
+            plains[op_id] = self._pack_blocks(vecs, dtype)
+
+        parallel.run_tasks(
+            [(lambda op_id=op_id: pack_input(op_id))
+             for op_id in self._input_ids]
+            + [(lambda op_id=op_id: pack_plain(op_id))
+               for op_id in self._plain_ids]
+        )
         return inputs, plains
+
+    def _pack_blocks(self, vecs: list[np.ndarray], dtype) -> np.ndarray:
+        """Write per-request vectors into the block-diagonal lane layout.
+
+        The first ``k*stride`` lanes are viewed as a C-contiguous
+        ``(k, stride)`` matrix so equal-width batches (the common case)
+        land in one stacked assignment with unit-stride rows; values and
+        casts are exactly those of the old per-request strided writes.
+        """
+        k = len(vecs)
+        packed = np.zeros(self._lanes, dtype=dtype)
+        block = packed[: k * self.stride].reshape(k, self.stride)
+        widths = {vec.shape[0] for vec in vecs}
+        if len(widths) == 1 and len({vec.dtype for vec in vecs}) == 1:
+            w = widths.pop()
+            if w:
+                block[:, :w] = vecs  # one C-level (k, w) gather + cast
+        else:
+            for j, vec in enumerate(vecs):
+                block[j, : vec.shape[0]] = vec
+        return packed
 
     def _shared_plain(self, op_id: int, requests: list[Request]) -> np.ndarray:
         """A MUL_PLAIN operand: identical across the batch, passed untiled."""
@@ -527,16 +566,34 @@ class SlotBatcher:
         program with several OUTPUT handles of differing widths gives every
         request exactly the lanes a solo run would populate — block j of
         output o equals lanes ``[0, output_widths[o])`` of a solo run.
+
+        Demuxing reshapes each packed output into a contiguous ``(k, w)``
+        block matrix once (one gather instead of k strided slices);
+        independent outputs fan across the :mod:`repro.poly.parallel` pool.
         """
-        per_request: list[dict[int, np.ndarray]] = []
-        for j in range(k):
-            lo = j * self.stride
-            per_request.append({
-                out_id: np.asarray(vec)[
-                    lo: lo + self.output_widths.get(out_id, self.stride)
-                ].copy()
-                for out_id, vec in outputs.items()
-            })
+        per_request: list[dict[int, np.ndarray]] = [
+            {out_id: None for out_id in outputs} for _ in range(k)
+        ]
+        span = k * self.stride
+
+        def demux(out_id: int, vec) -> None:
+            arr = np.asarray(vec)
+            w = self.output_widths.get(out_id, self.stride)
+            if arr.ndim == 1 and arr.shape[0] >= span:
+                block = np.ascontiguousarray(
+                    arr[:span].reshape(k, self.stride)[:, :w]
+                )
+                for j in range(k):
+                    per_request[j][out_id] = block[j].copy()
+            else:  # ragged/short output: keep the strided slice semantics
+                for j in range(k):
+                    lo = j * self.stride
+                    per_request[j][out_id] = arr[lo: lo + w].copy()
+
+        parallel.run_tasks(
+            [(lambda out_id=out_id, vec=vec: demux(out_id, vec))
+             for out_id, vec in outputs.items()]
+        )
         return per_request
 
     # ---------------------------------------------------------------- levels

@@ -27,10 +27,12 @@ serialized keys), a 2-host cluster smoke (worker-host subprocesses
 behind the framed socket transport, replication over the wire), a
 2-host observability smoke (traced requests: span stitching across the
 wire, worker metrics blobs merged into coordinator percentiles, Chrome
-trace-event export), and a 2-host chaos smoke (seeded drop/corrupt/delay
+trace-event export), a 2-host chaos smoke (seeded drop/corrupt/delay
 injection with a worker kill mid-run: zero lost futures, every ok result
-solo-identical) so CI always exercises the process-pool, network,
-observability, and resilience serving paths.
+solo-identical), and a 2-thread limb-fan smoke (every
+``REPRO_NUM_THREADS`` fan point run serial-vs-threaded, asserting
+bit-identical outputs) so CI always exercises the process-pool, network,
+observability, resilience, and threaded-kernel serving paths.
 
 Exits non-zero if any step fails, so CI can gate on this single command.
 """
@@ -118,6 +120,14 @@ def main(argv: list[str] | None = None) -> int:
         "chaos smoke",
         [py, "-c", "import sys; from repro.net.chaos import "
                    "chaos_smoke; sys.exit(chaos_smoke(2))"],
+    ))
+    # A 2-thread limb-fan smoke: every REPRO_NUM_THREADS fan point (stacked
+    # and flat NTT, batched base extension, scale-down, serve slot
+    # pack/unpack) run serial-vs-threaded, asserting bit-identical outputs.
+    results.append(_step(
+        "threads smoke",
+        [py, "-c", "import sys; from repro.poly.parallel import "
+                   "thread_smoke; sys.exit(thread_smoke(2))"],
     ))
     if not (args.fast or args.skip_perf):
         results.append(
